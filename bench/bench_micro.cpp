@@ -1,0 +1,210 @@
+// Google-benchmark microbenchmarks of the core operations: packed R-tree
+// bulk load (the paper reports a 6 GB/hour packing rate on 1997 hardware),
+// range search, merge-pack, B-tree insert/lookup/bulk-build and the
+// external sorter.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/coding.h"
+#include "common/rng.h"
+#include "cubetree/merge_pack.h"
+#include "rtree/packed_rtree.h"
+#include "sort/external_sorter.h"
+#include "storage/buffer_pool.h"
+
+namespace cubetree {
+namespace {
+
+const char* kDir = "ctbench_micro";
+
+std::vector<PointRecord> MakeSortedPoints(uint32_t n) {
+  std::vector<PointRecord> points;
+  points.reserve(n);
+  Rng rng(11);
+  for (uint32_t i = 0; i < n; ++i) {
+    PointRecord rec;
+    rec.view_id = 1;
+    rec.coords[0] = 1 + static_cast<Coord>(rng.Uniform(1u << 20));
+    rec.coords[1] = 1 + static_cast<Coord>(rng.Uniform(1u << 10));
+    rec.coords[2] = static_cast<Coord>(i + 1);  // Guarantees uniqueness.
+    rec.agg = AggValue{static_cast<int64_t>(i), 1};
+    points.push_back(rec);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const PointRecord& a, const PointRecord& b) {
+              return PackOrderCompare(a.coords, b.coords, 3) < 0;
+            });
+  return points;
+}
+
+void BM_PackedRTreeBuild(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto points = MakeSortedPoints(n);
+  BufferPool pool(256);
+  RTreeOptions options;
+  options.dims = 3;
+  for (auto _ : state) {
+    VectorPointSource source(points);
+    auto tree = PackedRTree::Build(std::string(kDir) + "/build.ctr",
+                                   options, &pool, &source,
+                                   [](uint32_t) { return 3; });
+    if (!tree.ok()) state.SkipWithError("build failed");
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(BM_PackedRTreeBuild)->Arg(10000)->Arg(100000)->Arg(500000);
+
+void BM_PackedRTreeSearch(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  const uint32_t n = 200000;
+  auto points = MakeSortedPoints(n);
+  BufferPool pool(4096);
+  RTreeOptions options;
+  options.dims = 3;
+  VectorPointSource source(points);
+  auto tree_result = PackedRTree::Build(std::string(kDir) + "/search.ctr",
+                                        options, &pool, &source,
+                                        [](uint32_t) { return 3; });
+  if (!tree_result.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  auto tree = std::move(tree_result).value();
+  Rng rng(5);
+  uint64_t found = 0;
+  for (auto _ : state) {
+    Rect query = Rect::Full(3);
+    // Slice on the most-significant pack dimension.
+    const Coord z = 1 + static_cast<Coord>(rng.Uniform(n));
+    query.lo[2] = z;
+    query.hi[2] = z + 200;
+    Status st = tree->Search(query, [&](const PointRecord&) { ++found; });
+    if (!st.ok()) state.SkipWithError("search failed");
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedRTreeSearch);
+
+void BM_MergePack(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto base = MakeSortedPoints(n);
+  auto delta = MakeSortedPoints(n / 10);
+  BufferPool pool(256);
+  RTreeOptions options;
+  options.dims = 3;
+  VectorPointSource base_source(base);
+  auto old_tree = std::move(
+      PackedRTree::Build(std::string(kDir) + "/mp_base.ctr", options, &pool,
+                         &base_source, [](uint32_t) { return 3; })
+          .value());
+  for (auto _ : state) {
+    VectorPointSource delta_source(delta);
+    auto merged = MergePack(old_tree.get(), &delta_source,
+                            std::string(kDir) + "/mp_out.ctr", options,
+                            &pool, [](uint32_t) { return 3; });
+    if (!merged.ok()) state.SkipWithError("merge failed");
+  }
+  state.SetItemsProcessed(state.iterations() * (n + n / 10));
+}
+BENCHMARK(BM_MergePack)->Arg(100000);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  for (auto _ : state) {
+    state.PauseTiming();
+    BufferPool pool(1024);
+    BTreeOptions options;
+    options.key_parts = 3;
+    options.value_size = 12;
+    auto tree = std::move(
+        BPlusTree::Create(std::string(kDir) + "/bt.idx", options, &pool)
+            .value());
+    Rng rng(7);
+    char value[12] = {0};
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      uint32_t key[3] = {static_cast<uint32_t>(rng.Next()),
+                         static_cast<uint32_t>(rng.Next()),
+                         static_cast<uint32_t>(i)};
+      Status st = tree->Insert(key, value);
+      if (!st.ok()) state.SkipWithError("insert failed");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertRandom)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  BufferPool pool(4096);
+  BTreeOptions options;
+  options.key_parts = 1;
+  options.value_size = 8;
+  auto tree = std::move(
+      BPlusTree::Create(std::string(kDir) + "/btl.idx", options, &pool)
+          .value());
+  char value[8] = {0};
+  const uint32_t n = 200000;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key[1] = {i * 2 + 1};
+    (void)tree->Insert(key, value);
+  }
+  Rng rng(9);
+  char out[8];
+  for (auto _ : state) {
+    uint32_t key[1] = {static_cast<uint32_t>(rng.Uniform(2 * n))};
+    auto found = tree->Lookup(key, out);
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_ExternalSort(benchmark::State& state) {
+  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ExternalSorter::Options options;
+    options.record_size = 24;
+    options.memory_budget_bytes = 1 << 20;  // Forces spills at 100k+.
+    options.temp_dir = kDir;
+    ExternalSorter sorter(options, [](const char* a, const char* b) {
+      return DecodeFixed64(a) < DecodeFixed64(b);
+    });
+    Rng rng(3);
+    char record[24] = {0};
+    for (int i = 0; i < n; ++i) {
+      EncodeFixed64(record, rng.Next());
+      if (!sorter.Add(record).ok()) state.SkipWithError("add failed");
+    }
+    auto stream = sorter.Finish();
+    if (!stream.ok()) {
+      state.SkipWithError("finish failed");
+      continue;
+    }
+    const char* rec = nullptr;
+    uint64_t count = 0;
+    do {
+      if (!(*stream)->Next(&rec).ok()) break;
+      ++count;
+    } while (rec != nullptr);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 24);
+}
+BENCHMARK(BM_ExternalSort)->Arg(100000)->Arg(500000);
+
+}  // namespace
+}  // namespace cubetree
+
+BENCHMARK_MAIN();

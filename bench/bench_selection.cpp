@@ -1,0 +1,71 @@
+// Reproduces the view/index selection of Section 3 of the paper: the
+// 1-greedy of [GHRU97] over the TPC-D {partkey, suppkey, custkey} lattice
+// (Figure 9) must select
+//   V = {V{psc}, V{ps}, V{c}, V{s}, V{p}, V{none}}
+//   I = {I{c,s,p}, I{p,c,s}, I{s,p,c}}
+// in decreasing order of benefit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "olap/lattice.h"
+#include "olap/selection.h"
+
+namespace cubetree {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Section 3: 1-greedy view & index selection (SF=1 "
+                     "statistics)",
+                     args);
+
+  CubeSchema schema;
+  schema.attr_names = {"partkey", "suppkey", "custkey"};
+  schema.attr_domains = {200000, 10000, 150000};
+  CubeLattice lattice(schema);
+  lattice.EstimateRowCounts(6001215);  // Paper: 6,001,215 fact rows.
+  bench::CheckOk(
+      lattice.SetRowCount(0b011, 800000),  // 4 suppliers per part.
+      "set |ps|");
+
+  std::printf("\nLattice nodes (estimated rows):\n");
+  for (size_t i = 0; i < lattice.num_nodes(); ++i) {
+    const LatticeNode& node = lattice.node(i);
+    std::printf("  %-28s %10llu\n",
+                bench::NodeName(schema, node.attrs).c_str(),
+                static_cast<unsigned long long>(node.row_count));
+  }
+  std::printf("slice query types: %llu (paper: 27)\n\n",
+              static_cast<unsigned long long>(lattice.NumSliceQueryTypes()));
+
+  GreedyOptions options;
+  options.max_structures = 9;
+  SelectionResult result =
+      bench::CheckOk(GreedySelect(lattice, options), "greedy");
+
+  std::printf("%-6s %-34s %16s\n", "pick", "structure", "benefit (tuples)");
+  size_t view_i = 0, index_i = 0;
+  for (size_t i = 0; i < result.picks.size(); ++i) {
+    const SelectionPick& pick = result.picks[i];
+    std::string name = pick.is_index
+                           ? result.indices[index_i++].Name(schema)
+                           : result.views[view_i++].Name(schema);
+    std::printf("%-6zu %-34s %16.0f\n", i + 1, name.c_str(), pick.benefit);
+  }
+  std::printf("\nSelected views  (paper: psc, ps, c, s, p, none):\n  ");
+  for (const ViewDef& v : result.views) {
+    std::printf("%s ", v.Name(schema).c_str());
+  }
+  std::printf("\nSelected indices (paper: I_csp, I_pcs, I_spc):\n  ");
+  for (const IndexDef& index : result.indices) {
+    std::printf("%s ", index.Name(schema).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cubetree
+
+int main(int argc, char** argv) { return cubetree::Run(argc, argv); }

@@ -1,0 +1,126 @@
+// ctsql: an interactive (or piped) SQL shell over a Cubetree warehouse —
+// the "clean and transparent SQL interface" the paper's Datablade exposed
+// through IUS. On startup it generates TPC-D data, materializes the
+// paper's view configuration into a forest, and then answers slice
+// queries typed one per line.
+//
+// Usage:  ./build/examples/ctsql [scale_factor]   (reads queries on stdin)
+//
+//   ctsql> SELECT partkey, SUM(quantity) FROM sales
+//          WHERE suppkey = 3 GROUP BY partkey
+//   ctsql> SELECT custkey, SUM(quantity) FROM sales
+//          WHERE partkey BETWEEN 10 AND 20 GROUP BY custkey
+//   ctsql> \plan SELECT ...     (show the access path, not the rows)
+//   ctsql> \quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/timer.h"
+#include "engine/query_parser.h"
+#include "engine/warehouse.h"
+
+using namespace cubetree;
+
+int main(int argc, char** argv) {
+  WarehouseOptions options;
+  options.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.01;
+  options.dir = "ctsql_data";
+  (void)system(("rm -rf " + options.dir).c_str());
+
+  std::printf("ctsql: loading TPC-D at SF=%.3f...\n", options.scale_factor);
+  auto warehouse_result = Warehouse::Create(options);
+  if (!warehouse_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 warehouse_result.status().ToString().c_str());
+    return 1;
+  }
+  auto warehouse = std::move(warehouse_result).value();
+  auto load = warehouse->LoadCubetrees();
+  if (!load.ok()) {
+    std::fprintf(stderr, "%s\n", load.status().ToString().c_str());
+    return 1;
+  }
+  const CubeSchema& schema = warehouse->schema();
+  std::printf("ready: table `sales` with attributes partkey(1..%u), "
+              "suppkey(1..%u), custkey(1..%u), measure `quantity`.\n",
+              schema.attr_domains[0], schema.attr_domains[1],
+              schema.attr_domains[2]);
+  std::printf("Predicates: '=' and BETWEEN. \\plan prefix shows the access "
+              "path. \\quit exits.\n\n");
+
+  std::string line;
+  while (true) {
+    std::printf("ctsql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    bool plan_only = false;
+    if (line.rfind("\\plan ", 0) == 0) {
+      plan_only = true;
+      line = line.substr(6);
+    }
+    auto parsed = ParseSliceQuery(line, schema);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    QueryExecStats stats;
+    Timer timer;
+    auto result = warehouse->cubetrees()->Execute(parsed->query, &stats);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const double ms = timer.ElapsedSeconds() * 1000;
+    if (plan_only) {
+      std::printf("plan: %s  (%llu tuples examined, %llu pages)\n",
+                  stats.plan.c_str(),
+                  static_cast<unsigned long long>(stats.tuples_accessed),
+                  static_cast<unsigned long long>(stats.pages_accessed));
+      continue;
+    }
+    result->SortRows();
+    // Header.
+    for (uint32_t attr : result->group_attrs) {
+      std::printf("%-10s ", schema.attr_names[attr].c_str());
+    }
+    switch (parsed->fn) {
+      case AggFn::kSum:
+        std::printf("%-12s\n", "sum");
+        break;
+      case AggFn::kCount:
+        std::printf("%-12s\n", "count");
+        break;
+      case AggFn::kAvg:
+        std::printf("%-12s\n", "avg");
+        break;
+    }
+    const size_t limit = 20;
+    for (size_t i = 0; i < result->rows.size() && i < limit; ++i) {
+      const ResultRow& row = result->rows[i];
+      for (Coord c : row.group) std::printf("%-10u ", c);
+      switch (parsed->fn) {
+        case AggFn::kSum:
+          std::printf("%-12lld\n", static_cast<long long>(row.agg.sum));
+          break;
+        case AggFn::kCount:
+          std::printf("%-12u\n", row.agg.count);
+          break;
+        case AggFn::kAvg:
+          std::printf("%-12.2f\n", row.agg.Avg());
+          break;
+      }
+    }
+    if (result->rows.size() > limit) {
+      std::printf("... (%zu rows)\n", result->rows.size());
+    }
+    std::printf("%zu row(s) in %.2f ms  [%s]\n\n", result->rows.size(), ms,
+                stats.plan.c_str());
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

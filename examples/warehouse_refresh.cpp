@@ -1,0 +1,85 @@
+// Scenario: the nightly refresh cycle of a TPC-D-shaped warehouse — the
+// workload the paper's introduction motivates. Loads the Cubetree
+// configuration once, then simulates a week of daily 2% increments: each
+// night the new facts are aggregated, sorted, and merge-packed into the
+// forest, and a few dashboard queries run against the fresh data.
+//
+// Build & run:  ./build/examples/warehouse_refresh [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "engine/warehouse.h"
+
+using namespace cubetree;
+
+int main(int argc, char** argv) {
+  WarehouseOptions options;
+  options.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.02;
+  options.dir = "warehouse_refresh_data";
+  options.increment_fraction = 0.02;  // Daily 2% instead of the bench 10%.
+  (void)system(("rm -rf " + options.dir).c_str());
+
+  auto warehouse_result = Warehouse::Create(options);
+  if (!warehouse_result.ok()) {
+    std::fprintf(stderr, "create: %s\n",
+                 warehouse_result.status().ToString().c_str());
+    return 1;
+  }
+  auto warehouse = std::move(warehouse_result).value();
+
+  std::printf("Initial load: %llu facts into %zu views "
+              "(+%zu replicas)...\n",
+              static_cast<unsigned long long>(
+                  warehouse->generator().NumBaseLineitems()),
+              warehouse->selected_views().size(),
+              warehouse->cubetree_views().size() -
+                  warehouse->selected_views().size());
+  auto load = warehouse->LoadCubetrees();
+  if (!load.ok()) {
+    std::fprintf(stderr, "load: %s\n", load.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  loaded in %.2fs wall; forest = %.1f MiB, %llu points\n",
+              load->TotalWallSeconds(),
+              warehouse->cubetrees()->StorageBytes() / 1048576.0,
+              static_cast<unsigned long long>(
+                  warehouse->cubetrees()->forest()->TotalPoints()));
+
+  SliceQueryGenerator gen = warehouse->MakeQueryGenerator(99);
+  for (uint32_t day = 0; day < 7; ++day) {
+    auto update = warehouse->UpdateCubetrees(day);
+    if (!update.ok()) {
+      std::fprintf(stderr, "day %u: %s\n", day,
+                   update.status().ToString().c_str());
+      return 1;
+    }
+    // Morning dashboard: a few slices over the fresh data.
+    Timer timer;
+    uint64_t rows = 0;
+    for (int q = 0; q < 25; ++q) {
+      SliceQuery query = gen.UniformOverLattice(
+          warehouse->lattice(), /*exclude_unbound=*/true,
+          /*skip_none_node=*/true);
+      auto result = warehouse->cubetrees()->Execute(query, nullptr);
+      if (!result.ok()) return 1;
+      rows += result->rows.size();
+    }
+    std::printf("day %u: merge-pack %.3fs wall (%llu seq / %llu rand page "
+                "writes), 25 queries in %.3fs (%llu rows)\n",
+                day + 1, update->wall_seconds,
+                static_cast<unsigned long long>(
+                    update->io.sequential_writes),
+                static_cast<unsigned long long>(update->io.random_writes),
+                timer.ElapsedSeconds(),
+                static_cast<unsigned long long>(rows));
+  }
+
+  std::printf("\nafter a week: forest = %.1f MiB, %llu points — no "
+              "down-time window needed beyond each merge-pack\n",
+              warehouse->cubetrees()->StorageBytes() / 1048576.0,
+              static_cast<unsigned long long>(
+                  warehouse->cubetrees()->forest()->TotalPoints()));
+  return 0;
+}

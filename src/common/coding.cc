@@ -1,0 +1,75 @@
+#include "common/coding.h"
+
+namespace cubetree {
+
+size_t EncodeVarint32(char* dst, uint32_t value) {
+  uint8_t* ptr = reinterpret_cast<uint8_t*>(dst);
+  size_t n = 0;
+  while (value >= 0x80) {
+    ptr[n++] = static_cast<uint8_t>(value | 0x80);
+    value >>= 7;
+  }
+  ptr[n++] = static_cast<uint8_t>(value);
+  return n;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  char buf[5];
+  size_t n = EncodeVarint32(buf, value);
+  dst->append(buf, n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  uint8_t* ptr = reinterpret_cast<uint8_t*>(buf);
+  size_t n = 0;
+  while (value >= 0x80) {
+    ptr[n++] = static_cast<uint8_t>(value | 0x80);
+    value >>= 7;
+  }
+  ptr[n++] = static_cast<uint8_t>(value);
+  dst->append(buf, n);
+}
+
+const char* GetVarint32(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<uint8_t>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<uint8_t>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+size_t VarintLength32(uint32_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace cubetree

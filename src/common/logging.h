@@ -1,0 +1,43 @@
+#ifndef CUBETREE_COMMON_LOGGING_H_
+#define CUBETREE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cubetree {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that reaches stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction if `level` passes
+/// the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CT_LOG(level)                                                   \
+  ::cubetree::internal::LogMessage(::cubetree::LogLevel::k##level,      \
+                                   __FILE__, __LINE__)                  \
+      .stream()
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_LOGGING_H_

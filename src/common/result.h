@@ -1,0 +1,68 @@
+#ifndef CUBETREE_COMMON_RESULT_H_
+#define CUBETREE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cubetree {
+
+/// Result<T> carries either a value of type T or an error Status. It is the
+/// value-returning companion of Status: functions that can fail but also
+/// produce a value return Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates an expression returning Result<T>, propagates errors, and binds
+/// the value to `lhs` on success.
+#define CT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define CT_ASSIGN_OR_RETURN(lhs, expr) \
+  CT_ASSIGN_OR_RETURN_IMPL(CT_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define CT_CONCAT_INNER_(a, b) a##b
+#define CT_CONCAT_(a, b) CT_CONCAT_INNER_(a, b)
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_RESULT_H_

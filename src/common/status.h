@@ -1,0 +1,98 @@
+#ifndef CUBETREE_COMMON_STATUS_H_
+#define CUBETREE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cubetree {
+
+/// Error codes used across the library. Modeled after the RocksDB/Arrow
+/// convention: library code reports failures through Status values instead of
+/// exceptions, so every fallible call site is visible in the source.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kNotSupported = 5,
+  kAlreadyExists = 6,
+  kResourceExhausted = 7,
+  kInternal = 8,
+};
+
+/// A Status is either OK (cheap, no allocation) or an error code plus a
+/// human-readable message describing what failed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Evaluates an expression returning Status and propagates any error to the
+/// caller. Usage: CT_RETURN_NOT_OK(file.Write(...));
+#define CT_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::cubetree::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef CUBETREE_COMMON_TIMER_H_
+#define CUBETREE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cubetree {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and the warehouse
+/// loaders to report elapsed times.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_TIMER_H_

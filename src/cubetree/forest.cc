@@ -1,0 +1,445 @@
+#include "cubetree/forest.h"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "cubetree/merge_pack.h"
+#include "storage/page_manager.h"
+
+namespace cubetree {
+
+namespace {
+
+/// Concatenates the record streams of several views (ascending arity) into
+/// one pack-ordered PointSource. Ascending-arity concatenation IS pack
+/// order across views: a view of arity a has zeros in every coordinate
+/// >= a, so all its points precede every point of any higher-arity view.
+class MultiViewPointSource : public PointSource {
+ public:
+  struct ViewStream {
+    ViewDef view;
+    std::unique_ptr<RecordStream> stream;
+  };
+
+  explicit MultiViewPointSource(std::vector<ViewStream> streams)
+      : streams_(std::move(streams)) {}
+
+  Status Next(const PointRecord** record) override {
+    while (index_ < streams_.size()) {
+      const char* raw = nullptr;
+      CT_RETURN_NOT_OK(streams_[index_].stream->Next(&raw));
+      if (raw != nullptr) {
+        const ViewDef& view = streams_[index_].view;
+        record_.view_id = view.id;
+        DecodeViewRecord(raw, view.arity(), record_.coords, &record_.agg);
+        for (size_t i = view.arity(); i < kMaxDims; ++i) {
+          record_.coords[i] = 0;
+        }
+        *record = &record_;
+        return Status::OK();
+      }
+      ++index_;
+    }
+    *record = nullptr;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ViewStream> streams_;
+  size_t index_ = 0;
+  PointRecord record_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Create(
+    Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("forest: buffer pool required");
+  }
+  return std::unique_ptr<CubetreeForest>(
+      new CubetreeForest(std::move(options), pool, std::move(io_stats)));
+}
+
+std::string CubetreeForest::TreePath(size_t tree_index,
+                                     uint32_t generation) const {
+  return options_.dir + "/" + options_.name + "_t" +
+         std::to_string(tree_index) + "_g" + std::to_string(generation) +
+         ".ctr";
+}
+
+std::string CubetreeForest::DeltaPath(size_t tree_index,
+                                      uint32_t generation) const {
+  return options_.dir + "/" + options_.name + "_t" +
+         std::to_string(tree_index) + "_d" + std::to_string(generation) +
+         ".ctr";
+}
+
+std::string CubetreeForest::ManifestPath() const {
+  return options_.dir + "/" + options_.name + ".manifest";
+}
+
+Status CubetreeForest::SaveManifest() const {
+  // Write-then-rename so the manifest swap is atomic: a crash mid-refresh
+  // leaves the previous generation's manifest (and files) untouched.
+  const std::string tmp = ManifestPath() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + tmp);
+    out << "cubetree-forest-manifest v1\n";
+    out << "views " << views_.size() << "\n";
+    for (const ViewDef& v : views_) {
+      out << "view " << v.id << " " << static_cast<int>(v.arity());
+      for (uint32_t a : v.attrs) out << " " << a;
+      out << "\n";
+    }
+    out << "trees " << plan_.trees.size() << "\n";
+    for (size_t t = 0; t < plan_.trees.size(); ++t) {
+      out << "tree " << static_cast<int>(plan_.trees[t].dims) << " "
+          << generations_[t];
+      for (uint32_t vid : plan_.trees[t].view_ids) out << " " << vid;
+      out << "\n";
+    }
+    for (size_t t = 0; t < delta_generations_.size(); ++t) {
+      for (uint32_t generation : delta_generations_[t]) {
+        out << "delta " << t << " " << generation << "\n";
+      }
+    }
+    if (!out.good()) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
+    return Status::IOError("cannot rename manifest into place");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
+    Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
+  CT_ASSIGN_OR_RETURN(auto forest,
+                      Create(std::move(options), pool, std::move(io_stats)));
+  std::ifstream in(forest->ManifestPath());
+  if (!in) {
+    return Status::NotFound("no forest manifest at " +
+                            forest->ManifestPath());
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "cubetree-forest-manifest v1") {
+    return Status::Corruption("bad forest manifest header");
+  }
+  auto malformed = [] { return Status::Corruption("malformed manifest"); };
+  std::string word;
+  size_t num_views = 0;
+  if (!(in >> word >> num_views) || word != "views") return malformed();
+  for (size_t i = 0; i < num_views; ++i) {
+    ViewDef v;
+    int arity = 0;
+    if (!(in >> word >> v.id >> arity) || word != "view" || arity < 0 ||
+        arity > static_cast<int>(kMaxDims)) {
+      return malformed();
+    }
+    for (int a = 0; a < arity; ++a) {
+      uint32_t attr;
+      if (!(in >> attr)) return malformed();
+      v.attrs.push_back(attr);
+    }
+    forest->views_.push_back(v);
+    if (!forest->views_by_id_.emplace(v.id, v).second) return malformed();
+  }
+  size_t num_trees = 0;
+  if (!(in >> word >> num_trees) || word != "trees") return malformed();
+  for (size_t t = 0; t < num_trees; ++t) {
+    int dims = 0;
+    uint32_t generation = 0;
+    if (!(in >> word >> dims >> generation) || word != "tree") {
+      return malformed();
+    }
+    ForestPlan::TreeSpec spec;
+    spec.dims = static_cast<uint8_t>(dims);
+    // The rest of the line holds the view ids.
+    std::getline(in, line);
+    std::istringstream ids(line);
+    uint32_t vid;
+    std::vector<ViewDef> tree_views;
+    while (ids >> vid) {
+      auto it = forest->views_by_id_.find(vid);
+      if (it == forest->views_by_id_.end()) return malformed();
+      spec.view_ids.push_back(vid);
+      tree_views.push_back(it->second);
+      forest->plan_.view_to_tree[vid] = t;
+    }
+    forest->plan_.trees.push_back(std::move(spec));
+    forest->generations_.push_back(generation);
+    CT_ASSIGN_OR_RETURN(auto rtree,
+                        PackedRTree::Open(forest->TreePath(t, generation),
+                                          pool, forest->io_stats_));
+    forest->trees_.push_back(std::make_unique<Cubetree>(
+        std::move(tree_views), std::move(rtree)));
+  }
+  forest->delta_generations_.assign(num_trees, {});
+  forest->next_delta_generation_.assign(num_trees, 0);
+  while (in >> word) {
+    if (word != "delta") return malformed();
+    size_t tree_index = 0;
+    uint32_t generation = 0;
+    if (!(in >> tree_index >> generation) ||
+        tree_index >= forest->trees_.size()) {
+      return malformed();
+    }
+    CT_ASSIGN_OR_RETURN(
+        auto delta_tree,
+        PackedRTree::Open(forest->DeltaPath(tree_index, generation), pool,
+                          forest->io_stats_));
+    forest->trees_[tree_index]->AddDelta(std::move(delta_tree));
+    forest->delta_generations_[tree_index].push_back(generation);
+    forest->next_delta_generation_[tree_index] =
+        std::max(forest->next_delta_generation_[tree_index], generation + 1);
+  }
+  return forest;
+}
+
+std::vector<const ViewDef*> CubetreeForest::TreeViewsAscArity(
+    size_t tree_index) const {
+  std::vector<const ViewDef*> result;
+  for (uint32_t vid : plan_.trees[tree_index].view_ids) {
+    result.push_back(&views_by_id_.at(vid));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ViewDef* a, const ViewDef* b) {
+              return a->arity() < b->arity();
+            });
+  return result;
+}
+
+std::function<uint8_t(uint32_t)> CubetreeForest::ArityFn() const {
+  // Capture a by-value arity map so the callback stays valid.
+  std::map<uint32_t, uint8_t> arities;
+  for (const auto& [id, view] : views_by_id_) arities[id] = view.arity();
+  return [arities](uint32_t view_id) {
+    auto it = arities.find(view_id);
+    return it == arities.end() ? static_cast<uint8_t>(0) : it->second;
+  };
+}
+
+Status CubetreeForest::Build(const std::vector<ViewDef>& views,
+                             ViewDataProvider* provider) {
+  if (!trees_.empty()) {
+    return Status::InvalidArgument("forest: already built");
+  }
+  views_ = views;
+  for (const ViewDef& v : views_) {
+    if (!views_by_id_.emplace(v.id, v).second) {
+      return Status::InvalidArgument("forest: duplicate view id");
+    }
+  }
+  if (options_.one_tree_per_view) {
+    for (const ViewDef& v : views_) {
+      ForestPlan::TreeSpec spec;
+      spec.dims = std::max<uint8_t>(1, v.arity());
+      spec.view_ids = {v.id};
+      plan_.view_to_tree[v.id] = plan_.trees.size();
+      plan_.trees.push_back(std::move(spec));
+    }
+  } else {
+    plan_ = SelectMapping(views_);
+  }
+  generations_.assign(plan_.trees.size(), 0);
+  delta_generations_.assign(plan_.trees.size(), {});
+  next_delta_generation_.assign(plan_.trees.size(), 0);
+
+  for (size_t t = 0; t < plan_.trees.size(); ++t) {
+    std::vector<MultiViewPointSource::ViewStream> streams;
+    for (const ViewDef* view : TreeViewsAscArity(t)) {
+      CT_ASSIGN_OR_RETURN(auto stream, provider->OpenViewStream(*view));
+      streams.push_back({*view, std::move(stream)});
+    }
+    MultiViewPointSource source(std::move(streams));
+    RTreeOptions tree_options = options_.rtree;
+    tree_options.dims = plan_.trees[t].dims;
+    CT_ASSIGN_OR_RETURN(
+        auto rtree,
+        PackedRTree::Build(TreePath(t, 0), tree_options, pool_, &source,
+                           ArityFn(), io_stats_));
+    std::vector<ViewDef> tree_views;
+    for (uint32_t vid : plan_.trees[t].view_ids) {
+      tree_views.push_back(views_by_id_.at(vid));
+    }
+    trees_.push_back(
+        std::make_unique<Cubetree>(std::move(tree_views), std::move(rtree)));
+  }
+  return SaveManifest();
+}
+
+Result<std::unique_ptr<PointSource>> CubetreeForest::MakeDeltaSource(
+    size_t tree_index, ViewDataProvider* provider) {
+  std::vector<MultiViewPointSource::ViewStream> streams;
+  for (const ViewDef* view : TreeViewsAscArity(tree_index)) {
+    CT_ASSIGN_OR_RETURN(auto stream, provider->OpenViewStream(*view));
+    streams.push_back({*view, std::move(stream)});
+  }
+  return std::unique_ptr<PointSource>(
+      new MultiViewPointSource(std::move(streams)));
+}
+
+namespace {
+
+/// Owns a chain of pairwise merges over N pack-ordered sources.
+class ChainedMergeSource {
+ public:
+  ChainedMergeSource(std::vector<PointSource*> inputs, uint8_t dims) {
+    head_ = inputs.empty() ? nullptr : inputs[0];
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      merges_.push_back(
+          std::make_unique<MergePointSource>(head_, inputs[i], dims));
+      head_ = merges_.back().get();
+    }
+  }
+
+  PointSource* head() { return head_; }
+
+ private:
+  std::vector<std::unique_ptr<MergePointSource>> merges_;
+  PointSource* head_ = nullptr;
+};
+
+}  // namespace
+
+Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
+  if (trees_.empty()) {
+    return Status::InvalidArgument("forest: not built yet");
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
+
+    // Fold any pending delta trees into the same merge-pack.
+    ScannerPointSource main_source(trees_[t]->rtree());
+    std::vector<std::unique_ptr<ScannerPointSource>> delta_scans;
+    std::vector<PointSource*> inputs = {&main_source};
+    for (size_t d = 0; d < trees_[t]->num_deltas(); ++d) {
+      delta_scans.push_back(
+          std::make_unique<ScannerPointSource>(trees_[t]->delta(d)));
+      inputs.push_back(delta_scans.back().get());
+    }
+    inputs.push_back(delta.get());
+    const uint8_t dims = plan_.trees[t].dims;
+    ChainedMergeSource chain(inputs, dims);
+
+    const uint32_t new_generation = generations_[t] + 1;
+    const std::string old_path = trees_[t]->rtree()->path();
+    RTreeOptions tree_options = options_.rtree;
+    tree_options.dims = dims;
+    CT_ASSIGN_OR_RETURN(
+        auto rtree,
+        PackedRTree::Build(TreePath(t, new_generation), tree_options, pool_,
+                           chain.head(), ArityFn(), io_stats_));
+    std::vector<std::string> retired = {old_path};
+    for (auto& old_delta : trees_[t]->TakeDeltas()) {
+      retired.push_back(old_delta->path());
+      old_delta.reset();
+    }
+    delta_generations_[t].clear();
+    trees_[t]->ReplaceTree(std::move(rtree));
+    generations_[t] = new_generation;
+    // Manifest first, then reclaim old generations: a crash in between
+    // only leaks files, never loses a consistent forest.
+    CT_RETURN_NOT_OK(SaveManifest());
+    for (const std::string& path : retired) {
+      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+    }
+  }
+  return Status::OK();
+}
+
+Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
+  if (trees_.empty()) {
+    return Status::InvalidArgument("forest: not built yet");
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
+    const uint32_t generation = next_delta_generation_[t]++;
+    RTreeOptions tree_options = options_.rtree;
+    tree_options.dims = plan_.trees[t].dims;
+    CT_ASSIGN_OR_RETURN(
+        auto delta_tree,
+        PackedRTree::Build(DeltaPath(t, generation), tree_options, pool_,
+                           delta.get(), ArityFn(), io_stats_));
+    if (delta_tree->num_points() == 0) {
+      // Nothing in this tree's increment; drop the empty file.
+      const std::string path = delta_tree->path();
+      delta_tree.reset();
+      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+      continue;
+    }
+    trees_[t]->AddDelta(std::move(delta_tree));
+    delta_generations_[t].push_back(generation);
+  }
+  return SaveManifest();
+}
+
+Status CubetreeForest::Compact() {
+  if (trees_.empty()) {
+    return Status::InvalidArgument("forest: not built yet");
+  }
+  struct EmptyProvider : ViewDataProvider {
+    Result<std::unique_ptr<RecordStream>> OpenViewStream(
+        const ViewDef& view) override {
+      return std::unique_ptr<RecordStream>(new MemoryRecordStream(
+          {}, ViewRecordBytes(view.arity())));
+    }
+  } empty;
+  // ApplyDelta with an empty increment folds all pending deltas in.
+  return ApplyDelta(&empty);
+}
+
+size_t CubetreeForest::TotalDeltas() const {
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree->num_deltas();
+  return total;
+}
+
+Result<Cubetree*> CubetreeForest::TreeForView(uint32_t view_id) {
+  auto it = plan_.view_to_tree.find(view_id);
+  if (it == plan_.view_to_tree.end()) {
+    return Status::NotFound("forest: view not materialized");
+  }
+  return trees_[it->second].get();
+}
+
+Result<const ViewDef*> CubetreeForest::view(uint32_t view_id) const {
+  auto it = views_by_id_.find(view_id);
+  if (it == views_by_id_.end()) {
+    return Status::NotFound("forest: unknown view id");
+  }
+  return &it->second;
+}
+
+uint64_t CubetreeForest::TotalSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& tree : trees_) total += tree->TotalSizeBytes();
+  return total;
+}
+
+uint64_t CubetreeForest::TotalPoints() const {
+  uint64_t total = 0;
+  for (const auto& tree : trees_) total += tree->TotalPoints();
+  return total;
+}
+
+Status CubetreeForest::Destroy() {
+  for (auto& tree : trees_) {
+    std::vector<std::string> paths = {tree->rtree()->path()};
+    for (size_t d = 0; d < tree->num_deltas(); ++d) {
+      paths.push_back(tree->delta(d)->path());
+    }
+    tree.reset();
+    for (const std::string& path : paths) {
+      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+    }
+  }
+  trees_.clear();
+  return RemoveFileIfExists(ManifestPath());
+}
+
+}  // namespace cubetree

@@ -1,0 +1,133 @@
+#ifndef CUBETREE_CUBETREE_FOREST_H_
+#define CUBETREE_CUBETREE_FOREST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cubetree/cubetree.h"
+#include "cubetree/select_mapping.h"
+#include "cubetree/view_def.h"
+#include "sort/external_sorter.h"
+#include "storage/buffer_pool.h"
+
+namespace cubetree {
+
+/// A forest of Cubetrees materializing a set of ROLAP views — the complete
+/// storage organization the paper proposes. The forest plans view placement
+/// with SelectMapping, bulk-builds each tree from sorted per-view aggregate
+/// streams, and refreshes all trees by merge-packing sorted deltas.
+class CubetreeForest {
+ public:
+  struct Options {
+    /// Directory for the tree files.
+    std::string dir = ".";
+    /// File-name prefix (several forests can share a directory).
+    std::string name = "forest";
+    /// R-tree build options; `dims` is overridden per tree by the plan.
+    RTreeOptions rtree;
+    /// Ablation switch: place every view in its own tree instead of
+    /// running SelectMapping. Costs extra non-leaf/metadata pages and
+    /// lowers the buffer hit ratio on the trees' upper levels.
+    bool one_tree_per_view = false;
+  };
+
+  /// Supplies, per view, the stream of its aggregate tuples — fixed-width
+  /// ViewRecordBytes(arity) records sorted in the view's pack order
+  /// (ViewRecordCompare). The cube builder implements this on top of view
+  /// spools; tests implement it over vectors.
+  class ViewDataProvider {
+   public:
+    virtual ~ViewDataProvider() = default;
+    virtual Result<std::unique_ptr<RecordStream>> OpenViewStream(
+        const ViewDef& view) = 0;
+  };
+
+  static Result<std::unique_ptr<CubetreeForest>> Create(
+      Options options, BufferPool* pool,
+      std::shared_ptr<IoStats> io_stats = nullptr);
+
+  /// Reopens a forest persisted by a previous Build/ApplyDelta in the same
+  /// directory (the manifest records views, plan and tree generations; the
+  /// manifest is replaced atomically after every change, so a crash during
+  /// merge-pack leaves the previous generation intact and reopenable).
+  static Result<std::unique_ptr<CubetreeForest>> Open(
+      Options options, BufferPool* pool,
+      std::shared_ptr<IoStats> io_stats = nullptr);
+
+  /// Plans placement and bulk-builds every tree. Call once.
+  Status Build(const std::vector<ViewDef>& views, ViewDataProvider* provider);
+
+  /// Bulk-incremental refresh: merge-packs each tree with the delta streams
+  /// (the architecture of the paper's Figure 15). Old tree files are
+  /// replaced atomically from the caller's perspective. Any pending delta
+  /// trees are folded in as well.
+  Status ApplyDelta(ViewDataProvider* delta_provider);
+
+  /// LSM-style refresh extension: packs the increment into small *delta
+  /// trees* attached to each main tree instead of rewriting the mains.
+  /// Refresh cost becomes proportional to the increment; queries pay a
+  /// small extra search per pending delta until Compact().
+  Status ApplyDeltaPartial(ViewDataProvider* delta_provider);
+
+  /// Merge-packs every tree's main + pending deltas into a fresh main
+  /// tree and retires the delta files.
+  Status Compact();
+
+  /// Pending delta trees across the forest.
+  size_t TotalDeltas() const;
+
+  const ForestPlan& plan() const { return plan_; }
+  size_t num_trees() const { return trees_.size(); }
+  Cubetree* tree(size_t i) { return trees_[i].get(); }
+
+  Result<Cubetree*> TreeForView(uint32_t view_id);
+  Result<const ViewDef*> view(uint32_t view_id) const;
+  const std::vector<ViewDef>& views() const { return views_; }
+
+  /// Total bytes across all tree files (storage footprint of the
+  /// organization, index included — there is nothing else).
+  uint64_t TotalSizeBytes() const;
+  /// Total stored points across all trees.
+  uint64_t TotalPoints() const;
+
+  /// Removes all tree files.
+  Status Destroy();
+
+ private:
+  CubetreeForest(Options options, BufferPool* pool,
+                 std::shared_ptr<IoStats> io_stats)
+      : options_(std::move(options)),
+        pool_(pool),
+        io_stats_(std::move(io_stats)) {}
+
+  std::string TreePath(size_t tree_index, uint32_t generation) const;
+  std::string DeltaPath(size_t tree_index, uint32_t generation) const;
+  std::string ManifestPath() const;
+  Status SaveManifest() const;
+  /// Builds the pack-ordered point source over one tree's delta streams.
+  Result<std::unique_ptr<PointSource>> MakeDeltaSource(
+      size_t tree_index, ViewDataProvider* provider);
+  /// Views of tree `i` in ascending arity = pack order of their regions.
+  std::vector<const ViewDef*> TreeViewsAscArity(size_t tree_index) const;
+  std::function<uint8_t(uint32_t)> ArityFn() const;
+
+  Options options_;
+  BufferPool* pool_;
+  std::shared_ptr<IoStats> io_stats_;
+  ForestPlan plan_;
+  std::vector<ViewDef> views_;
+  std::map<uint32_t, ViewDef> views_by_id_;
+  std::vector<std::unique_ptr<Cubetree>> trees_;
+  std::vector<uint32_t> generations_;
+  /// Per tree: the generation numbers of its pending delta trees.
+  std::vector<std::vector<uint32_t>> delta_generations_;
+  std::vector<uint32_t> next_delta_generation_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_CUBETREE_FOREST_H_

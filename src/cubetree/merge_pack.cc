@@ -1,0 +1,61 @@
+#include "cubetree/merge_pack.h"
+
+#include "cubetree/cubetree.h"
+#include "rtree/geometry.h"
+
+namespace cubetree {
+
+Status MergePointSource::Next(const PointRecord** record) {
+  if (!primed_) {
+    CT_RETURN_NOT_OK(a_->Next(&cur_a_));
+    CT_RETURN_NOT_OK(b_->Next(&cur_b_));
+    primed_ = true;
+  }
+  if (cur_a_ == nullptr && cur_b_ == nullptr) {
+    *record = nullptr;
+    return Status::OK();
+  }
+  int cmp;
+  if (cur_a_ == nullptr) {
+    cmp = 1;
+  } else if (cur_b_ == nullptr) {
+    cmp = -1;
+  } else {
+    cmp = PackOrderCompare(cur_a_->coords, cur_b_->coords, dims_);
+  }
+  if (cmp < 0) {
+    merged_ = *cur_a_;
+    CT_RETURN_NOT_OK(a_->Next(&cur_a_));
+  } else if (cmp > 0) {
+    merged_ = *cur_b_;
+    CT_RETURN_NOT_OK(b_->Next(&cur_b_));
+  } else {
+    if (cur_a_->view_id != cur_b_->view_id) {
+      return Status::Corruption(
+          "merge-pack: identical coordinates from different views");
+    }
+    merged_ = *cur_a_;
+    merged_.agg.Merge(cur_b_->agg);
+    CT_RETURN_NOT_OK(a_->Next(&cur_a_));
+    CT_RETURN_NOT_OK(b_->Next(&cur_b_));
+  }
+  *record = &merged_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PackedRTree>> MergePack(
+    PackedRTree* old_tree, PointSource* delta, const std::string& out_path,
+    const RTreeOptions& options, BufferPool* pool,
+    std::function<uint8_t(uint32_t)> view_arity,
+    std::shared_ptr<IoStats> io_stats) {
+  if (old_tree == nullptr) {
+    return PackedRTree::Build(out_path, options, pool, delta,
+                              std::move(view_arity), std::move(io_stats));
+  }
+  ScannerPointSource old_source(old_tree);
+  MergePointSource merged(&old_source, delta, options.dims);
+  return PackedRTree::Build(out_path, options, pool, &merged,
+                            std::move(view_arity), std::move(io_stats));
+}
+
+}  // namespace cubetree

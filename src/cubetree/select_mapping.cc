@@ -1,0 +1,45 @@
+#include "cubetree/select_mapping.h"
+
+#include <deque>
+
+namespace cubetree {
+
+ForestPlan SelectMapping(const std::vector<ViewDef>& views) {
+  ForestPlan plan;
+  if (views.empty()) return plan;
+
+  uint8_t max_arity = 0;
+  for (const ViewDef& v : views) max_arity = std::max(max_arity, v.arity());
+
+  // Group views by arity, preserving input order within each class.
+  std::vector<std::deque<uint32_t>> sets(static_cast<size_t>(max_arity) + 1);
+  for (const ViewDef& v : views) sets[v.arity()].push_back(v.id);
+
+  auto any_left = [&]() {
+    for (const auto& s : sets) {
+      if (!s.empty()) return true;
+    }
+    return false;
+  };
+
+  while (any_left()) {
+    // The new tree's dimensionality is the max arity still unmapped.
+    int arity = static_cast<int>(max_arity);
+    while (arity >= 0 && sets[arity].empty()) --arity;
+    ForestPlan::TreeSpec tree;
+    tree.dims = static_cast<uint8_t>(std::max(arity, 1));
+    // Take one view of each arity, highest first (including arity 0).
+    for (int j = arity; j >= 0; --j) {
+      if (!sets[j].empty()) {
+        const uint32_t vid = sets[j].front();
+        sets[j].pop_front();
+        plan.view_to_tree[vid] = plan.trees.size();
+        tree.view_ids.push_back(vid);
+      }
+    }
+    plan.trees.push_back(std::move(tree));
+  }
+  return plan;
+}
+
+}  // namespace cubetree

@@ -1,0 +1,197 @@
+#include "engine/cubetree_engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cubetree {
+
+Result<std::unique_ptr<CubetreeEngine>> CubetreeEngine::Create(
+    const CubeSchema& schema, Options options, BufferPool* pool) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("cubetree engine: pool required");
+  }
+  return std::unique_ptr<CubetreeEngine>(
+      new CubetreeEngine(schema, std::move(options), pool));
+}
+
+Status CubetreeEngine::Load(const std::vector<ViewDef>& views,
+                            ComputedViews* data) {
+  CubetreeForest::Options forest_options;
+  forest_options.dir = options_.dir;
+  forest_options.name = options_.name;
+  forest_options.rtree = options_.rtree;
+  forest_options.one_tree_per_view = options_.one_tree_per_view;
+  CT_ASSIGN_OR_RETURN(forest_, CubetreeForest::Create(forest_options, pool_,
+                                                      options_.io_stats));
+  CT_RETURN_NOT_OK(forest_->Build(views, data));
+  view_rows_.clear();
+  for (const ViewDef& view : views) {
+    CT_ASSIGN_OR_RETURN(uint64_t rows, data->row_count(view.id));
+    view_rows_[view.id] = rows;
+  }
+  return Status::OK();
+}
+
+Status CubetreeEngine::ApplyDelta(ComputedViews* delta) {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  // Per-view row counts are not tracked inside the trees after a merge;
+  // the stale counts only influence the routing heuristic, which stays
+  // stable under proportional growth.
+  return forest_->ApplyDelta(delta);
+}
+
+Status CubetreeEngine::ApplyDeltaPartial(ComputedViews* delta) {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  return forest_->ApplyDeltaPartial(delta);
+}
+
+Status CubetreeEngine::Compact() {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  return forest_->Compact();
+}
+
+double CubetreeEngine::EstimateCost(const ViewDef& view,
+                                    const SliceQuery& query,
+                                    uint64_t rows) const {
+  // Selectivity of the query's constraint on `attr` (1 = unconstrained).
+  auto selectivity = [&](uint32_t attr) -> double {
+    for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
+      if (query.attrs[qi] != attr || !query.AttrConstrained(qi)) continue;
+      const auto [lo, hi] = query.AttrInterval(qi);
+      const double domain =
+          std::max<double>(1.0, schema_.attr_domains[attr]);
+      const double span =
+          std::min<double>(domain, static_cast<double>(hi) - lo + 1);
+      return span / domain;
+    }
+    return 1.0;
+  };
+  double cost = static_cast<double>(std::max<uint64_t>(rows, 1));
+  // Constrained attrs forming a suffix of the projection list are a
+  // prefix of the packing sort order: full pruning at their selectivity.
+  size_t i = view.attrs.size();
+  while (i > 0 && selectivity(view.attrs[i - 1]) < 1.0) {
+    cost *= selectivity(view.attrs[i - 1]);
+    --i;
+  }
+  // Remaining constrained attrs still prune via MBR intersection, but
+  // only partially; credit a modest constant factor each.
+  for (size_t j = 0; j < i; ++j) {
+    if (selectivity(view.attrs[j]) < 1.0) cost /= 2.0;
+  }
+  return std::max(cost, 1.0);
+}
+
+Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
+                                            QueryExecStats* stats) {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  // Route: cheapest covering view (replicas compete here too).
+  const ViewDef* best = nullptr;
+  double best_cost = 0;
+  for (const ViewDef& view : forest_->views()) {
+    if (!view.Covers(query.node_mask)) continue;
+    auto it = view_rows_.find(view.id);
+    const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
+    const double cost = EstimateCost(view, query, rows);
+    if (best == nullptr || cost < best_cost) {
+      best = &view;
+      best_cost = cost;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no materialized view answers this query");
+  }
+
+  // Per-attribute intervals in the chosen view's projection order
+  // (equality = degenerate interval, range = band, open = full).
+  std::vector<std::pair<Coord, Coord>> intervals(
+      best->arity(), {1, kCoordMax});
+  for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
+    for (size_t vi = 0; vi < best->attrs.size(); ++vi) {
+      if (best->attrs[vi] == query.attrs[qi]) {
+        intervals[vi] = query.AttrInterval(qi);
+      }
+    }
+  }
+
+  QueryResult result;
+  for (size_t i = 0; i < query.attrs.size(); ++i) {
+    if (query.IsGrouped(i)) {
+      result.group_attrs.push_back(query.attrs[i]);
+    }
+  }
+  // Positions (within the view) of the query's unbound attrs, in query
+  // order, to build group keys.
+  std::vector<size_t> group_positions;
+  for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
+    if (!query.IsGrouped(qi)) continue;
+    for (size_t vi = 0; vi < best->attrs.size(); ++vi) {
+      if (best->attrs[vi] == query.attrs[qi]) {
+        group_positions.push_back(vi);
+        break;
+      }
+    }
+  }
+
+  CT_ASSIGN_OR_RETURN(Cubetree * tree, forest_->TreeForView(best->id));
+  bool exact = best->AttrMask() == query.node_mask && !tree->HasDeltas();
+  for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
+    // A collapsed (ungrouped) attr without an equality binding folds
+    // several points into one group: the direct path no longer applies.
+    if (!query.IsGrouped(qi) && !query.bindings[qi].has_value()) {
+      exact = false;
+    }
+  }
+  SearchStats search_stats;
+  if (exact) {
+    // Every qualifying point is exactly one result group.
+    CT_RETURN_NOT_OK(tree->QueryBox(
+        best->id, intervals,
+        [&](const Coord* coords, const AggValue& agg) {
+          ResultRow row;
+          row.group.reserve(group_positions.size());
+          for (size_t pos : group_positions) row.group.push_back(coords[pos]);
+          row.agg = agg;
+          result.rows.push_back(std::move(row));
+        },
+        &search_stats));
+  } else {
+    // Superset view: re-aggregate over the extra attributes on the fly
+    // (the paper's "additional aggregate step").
+    std::map<std::vector<Coord>, AggValue> groups;
+    std::vector<Coord> key;
+    CT_RETURN_NOT_OK(tree->QueryBox(
+        best->id, intervals,
+        [&](const Coord* coords, const AggValue& agg) {
+          key.clear();
+          for (size_t pos : group_positions) key.push_back(coords[pos]);
+          groups[key].Merge(agg);
+        },
+        &search_stats));
+    for (auto& [key2, agg] : groups) {
+      result.rows.push_back(ResultRow{key2, agg});
+    }
+  }
+  if (stats != nullptr) {
+    stats->tuples_accessed += search_stats.points_examined;
+    stats->pages_accessed +=
+        search_stats.internal_pages + search_stats.leaf_pages;
+    stats->plan = std::string(exact ? "cubetree slice " : "cubetree agg ") +
+                  best->Name(schema_);
+  }
+  return result;
+}
+
+uint64_t CubetreeEngine::StorageBytes() const {
+  return forest_ == nullptr ? 0 : forest_->TotalSizeBytes();
+}
+
+}  // namespace cubetree

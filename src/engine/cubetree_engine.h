@@ -1,0 +1,79 @@
+#ifndef CUBETREE_ENGINE_CUBETREE_ENGINE_H_
+#define CUBETREE_ENGINE_CUBETREE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cubetree/forest.h"
+#include "cubetree/view_def.h"
+#include "engine/view_store.h"
+#include "olap/cube_builder.h"
+#include "storage/buffer_pool.h"
+
+namespace cubetree {
+
+/// The paper's proposed configuration: all materialized views live in a
+/// forest of packed, compressed R-trees planned by SelectMapping. Loading
+/// is a sort + sequential pack; refresh is a merge-pack; queries are range
+/// boxes over the index space. Sort-order replicas of a view (the
+/// Datablade's replication feature) are simply additional ViewDefs with
+/// permuted projection lists, routed to like any other view.
+class CubetreeEngine : public ViewStore {
+ public:
+  struct Options {
+    std::string dir = ".";
+    std::string name = "cbt";
+    RTreeOptions rtree;
+    /// Ablation: bypass SelectMapping and give every view its own tree.
+    bool one_tree_per_view = false;
+    std::shared_ptr<IoStats> io_stats;
+  };
+
+  static Result<std::unique_ptr<CubetreeEngine>> Create(
+      const CubeSchema& schema, Options options, BufferPool* pool);
+
+  /// Plans and bulk-builds the forest from the computed view spools.
+  /// `views` must include any replicas, and `data` must have spools for all
+  /// of them.
+  Status Load(const std::vector<ViewDef>& views, ComputedViews* data);
+
+  /// Bulk-incremental refresh by merge-packing every tree with the sorted
+  /// delta spools (pending delta trees are folded in too).
+  Status ApplyDelta(ComputedViews* delta);
+
+  /// Fast refresh extension: packs the increment into small delta trees
+  /// (refresh cost ~ increment size); queries search them alongside the
+  /// mains until Compact() merge-packs everything.
+  Status ApplyDeltaPartial(ComputedViews* delta);
+
+  /// Folds all pending delta trees into the main trees.
+  Status Compact();
+
+  Result<QueryResult> Execute(const SliceQuery& query,
+                              QueryExecStats* stats) override;
+
+  uint64_t StorageBytes() const override;
+  CubetreeForest* forest() { return forest_.get(); }
+
+ private:
+  CubetreeEngine(const CubeSchema& schema, Options options, BufferPool* pool)
+      : schema_(schema), options_(std::move(options)), pool_(pool) {}
+
+  /// Estimated tuples touched answering `query` from `view`: the packing
+  /// sort order is (last attr, ..., first attr), so predicates binding a
+  /// suffix of the projection list prune contiguous leaf ranges; other
+  /// bound attrs prune partially via MBRs.
+  double EstimateCost(const ViewDef& view, const SliceQuery& query,
+                      uint64_t rows) const;
+
+  CubeSchema schema_;
+  Options options_;
+  BufferPool* pool_;
+  std::unique_ptr<CubetreeForest> forest_;
+  std::map<uint32_t, uint64_t> view_rows_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_ENGINE_CUBETREE_ENGINE_H_

@@ -1,0 +1,164 @@
+#include "engine/dimensions.h"
+
+namespace cubetree {
+
+namespace {
+
+Schema MakePartSchema() {
+  return Schema({Schema::UInt32("partkey"), Schema::Char("name", 24),
+                 Schema::UInt32("brand"), Schema::UInt32("type"),
+                 Schema::UInt32("size"), Schema::Char("container", 12)});
+}
+
+Schema MakeSupplierSchema() {
+  return Schema({Schema::UInt32("suppkey"), Schema::Char("name", 28),
+                 Schema::Char("address", 16), Schema::Char("phone", 16)});
+}
+
+Schema MakeCustomerSchema() {
+  return Schema({Schema::UInt32("custkey"), Schema::Char("name", 28),
+                 Schema::Char("address", 16), Schema::Char("phone", 16)});
+}
+
+Schema MakeTimeSchema() {
+  return Schema({Schema::UInt32("timekey"), Schema::UInt32("day"),
+                 Schema::UInt32("month"), Schema::UInt32("year")});
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DimensionTables>> DimensionTables::Load(
+    const std::string& dir, const tpcd::Generator& generator,
+    BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
+  auto tables = std::unique_ptr<DimensionTables>(new DimensionTables());
+  tables->part_schema_ = MakePartSchema();
+  tables->supplier_schema_ = MakeSupplierSchema();
+  tables->customer_schema_ = MakeCustomerSchema();
+
+  CT_ASSIGN_OR_RETURN(
+      tables->part_,
+      HeapTable::Create(dir + "/dim_part.tbl", &tables->part_schema_, pool,
+                        io_stats, /*row_overhead_bytes=*/8));
+  for (uint32_t key = 1; key <= generator.sizes().parts; ++key) {
+    const tpcd::PartRow row = generator.MakePart(key);
+    RowBuffer buf(&tables->part_schema_);
+    RowRef ref = buf.ref();
+    ref.SetUInt32(0, row.partkey);
+    ref.SetString(1, row.name);
+    ref.SetUInt32(2, row.brand);
+    ref.SetUInt32(3, row.type);
+    ref.SetUInt32(4, row.size);
+    ref.SetString(5, row.container);
+    CT_RETURN_NOT_OK(tables->part_->Append(buf.data()).status());
+  }
+
+  CT_ASSIGN_OR_RETURN(
+      tables->supplier_,
+      HeapTable::Create(dir + "/dim_supplier.tbl",
+                        &tables->supplier_schema_, pool, io_stats, 8));
+  for (uint32_t key = 1; key <= generator.sizes().suppliers; ++key) {
+    const tpcd::SupplierRow row = generator.MakeSupplier(key);
+    RowBuffer buf(&tables->supplier_schema_);
+    RowRef ref = buf.ref();
+    ref.SetUInt32(0, row.suppkey);
+    ref.SetString(1, row.name);
+    ref.SetString(2, row.address);
+    ref.SetString(3, row.phone);
+    CT_RETURN_NOT_OK(tables->supplier_->Append(buf.data()).status());
+  }
+
+  CT_ASSIGN_OR_RETURN(
+      tables->customer_,
+      HeapTable::Create(dir + "/dim_customer.tbl",
+                        &tables->customer_schema_, pool, io_stats, 8));
+  for (uint32_t key = 1; key <= generator.sizes().customers; ++key) {
+    const tpcd::CustomerRow row = generator.MakeCustomer(key);
+    RowBuffer buf(&tables->customer_schema_);
+    RowRef ref = buf.ref();
+    ref.SetUInt32(0, row.custkey);
+    ref.SetString(1, row.name);
+    ref.SetString(2, row.address);
+    ref.SetString(3, row.phone);
+    CT_RETURN_NOT_OK(tables->customer_->Append(buf.data()).status());
+  }
+  tables->time_schema_ = MakeTimeSchema();
+  CT_ASSIGN_OR_RETURN(
+      tables->time_,
+      HeapTable::Create(dir + "/dim_time.tbl", &tables->time_schema_, pool,
+                        io_stats, 8));
+  for (uint32_t key = 1; key <= tpcd::kNumTimekeys; ++key) {
+    const tpcd::TimeRow row = tpcd::Generator::MakeTime(key);
+    RowBuffer buf(&tables->time_schema_);
+    RowRef ref = buf.ref();
+    ref.SetUInt32(0, row.timekey);
+    ref.SetUInt32(1, row.day);
+    ref.SetUInt32(2, row.month);
+    ref.SetUInt32(3, row.year);
+    CT_RETURN_NOT_OK(tables->time_->Append(buf.data()).status());
+  }
+  CT_RETURN_NOT_OK(pool->FlushAll());
+  return tables;
+}
+
+Result<tpcd::TimeRow> DimensionTables::GetTime(uint32_t timekey) {
+  CT_ASSIGN_OR_RETURN(RowId rid, RidFor(time_.get(), timekey));
+  std::vector<char> buf(time_schema_.row_size());
+  CT_RETURN_NOT_OK(time_->Get(rid, buf.data()));
+  RowRef ref(&time_schema_, buf.data());
+  tpcd::TimeRow row;
+  row.timekey = ref.GetUInt32(0);
+  row.day = ref.GetUInt32(1);
+  row.month = ref.GetUInt32(2);
+  row.year = ref.GetUInt32(3);
+  return row;
+}
+
+Result<RowId> DimensionTables::RidFor(HeapTable* table, uint32_t key) const {
+  if (key == 0 || key > table->num_rows()) {
+    return Status::NotFound("dimension key out of range");
+  }
+  return table->OrdinalToRowId(key - 1);
+}
+
+Result<tpcd::PartRow> DimensionTables::GetPart(uint32_t partkey) {
+  CT_ASSIGN_OR_RETURN(RowId rid, RidFor(part_.get(), partkey));
+  std::vector<char> buf(part_schema_.row_size());
+  CT_RETURN_NOT_OK(part_->Get(rid, buf.data()));
+  RowRef ref(&part_schema_, buf.data());
+  tpcd::PartRow row;
+  row.partkey = ref.GetUInt32(0);
+  row.name = ref.GetString(1);
+  row.brand = ref.GetUInt32(2);
+  row.type = ref.GetUInt32(3);
+  row.size = ref.GetUInt32(4);
+  row.container = ref.GetString(5);
+  return row;
+}
+
+Result<tpcd::SupplierRow> DimensionTables::GetSupplier(uint32_t suppkey) {
+  CT_ASSIGN_OR_RETURN(RowId rid, RidFor(supplier_.get(), suppkey));
+  std::vector<char> buf(supplier_schema_.row_size());
+  CT_RETURN_NOT_OK(supplier_->Get(rid, buf.data()));
+  RowRef ref(&supplier_schema_, buf.data());
+  tpcd::SupplierRow row;
+  row.suppkey = ref.GetUInt32(0);
+  row.name = ref.GetString(1);
+  row.address = ref.GetString(2);
+  row.phone = ref.GetString(3);
+  return row;
+}
+
+Result<tpcd::CustomerRow> DimensionTables::GetCustomer(uint32_t custkey) {
+  CT_ASSIGN_OR_RETURN(RowId rid, RidFor(customer_.get(), custkey));
+  std::vector<char> buf(customer_schema_.row_size());
+  CT_RETURN_NOT_OK(customer_->Get(rid, buf.data()));
+  RowRef ref(&customer_schema_, buf.data());
+  tpcd::CustomerRow row;
+  row.custkey = ref.GetUInt32(0);
+  row.name = ref.GetString(1);
+  row.address = ref.GetString(2);
+  row.phone = ref.GetString(3);
+  return row;
+}
+
+}  // namespace cubetree

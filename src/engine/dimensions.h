@@ -1,0 +1,61 @@
+#ifndef CUBETREE_ENGINE_DIMENSIONS_H_
+#define CUBETREE_ENGINE_DIMENSIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "table/heap_table.h"
+#include "tpcd/dbgen.h"
+
+namespace cubetree {
+
+/// The warehouse's dimension tables (Figure 1 of the paper): part,
+/// supplier and customer heap tables with their descriptive attributes.
+/// They are common to both storage organizations (the comparison is about
+/// the aggregate views), but they make the system end-to-end real: query
+/// results resolve key values back to names, and the part hierarchy
+/// (partkey -> brand -> type) comes from here.
+///
+/// Dimension keys are dense (1..N), so a row is addressed in O(1) via
+/// HeapTable::OrdinalToRowId — no index needed.
+class DimensionTables {
+ public:
+  static Result<std::unique_ptr<DimensionTables>> Load(
+      const std::string& dir, const tpcd::Generator& generator,
+      BufferPool* pool, std::shared_ptr<IoStats> io_stats = nullptr);
+
+  Result<tpcd::PartRow> GetPart(uint32_t partkey);
+  Result<tpcd::SupplierRow> GetSupplier(uint32_t suppkey);
+  Result<tpcd::CustomerRow> GetCustomer(uint32_t custkey);
+  Result<tpcd::TimeRow> GetTime(uint32_t timekey);
+
+  uint64_t TotalBytes() const {
+    return part_->FileSizeBytes() + supplier_->FileSizeBytes() +
+           customer_->FileSizeBytes() + time_->FileSizeBytes();
+  }
+  HeapTable* part_table() { return part_.get(); }
+  HeapTable* supplier_table() { return supplier_.get(); }
+  HeapTable* customer_table() { return customer_.get(); }
+  HeapTable* time_table() { return time_.get(); }
+
+ private:
+  DimensionTables() = default;
+
+  Result<RowId> RidFor(HeapTable* table, uint32_t key) const;
+
+  Schema part_schema_;
+  Schema supplier_schema_;
+  Schema customer_schema_;
+  Schema time_schema_;
+  std::unique_ptr<HeapTable> part_;
+  std::unique_ptr<HeapTable> supplier_;
+  std::unique_ptr<HeapTable> customer_;
+  std::unique_ptr<HeapTable> time_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_ENGINE_DIMENSIONS_H_

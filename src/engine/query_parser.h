@@ -1,0 +1,37 @@
+#ifndef CUBETREE_ENGINE_QUERY_PARSER_H_
+#define CUBETREE_ENGINE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cubetree/view_def.h"
+#include "olap/query_model.h"
+
+namespace cubetree {
+
+/// Aggregate function requested by a parsed query.
+enum class AggFn { kSum, kCount, kAvg };
+
+/// A parsed slice query plus the aggregate to report.
+struct ParsedQuery {
+  SliceQuery query;
+  AggFn fn = AggFn::kSum;
+};
+
+/// Parses the small SQL dialect of the examples — the shape the paper's
+/// Datablade exposes through IUS:
+///
+///   SELECT partkey, suppkey, SUM(quantity) FROM sales
+///     WHERE custkey = 17 GROUP BY partkey, suppkey
+///
+/// Rules: the select list names the group-by attributes (it must match the
+/// GROUP BY clause) plus exactly one aggregate SUM/COUNT/AVG over the
+/// measure; WHERE may hold equality predicates on further attributes,
+/// conjoined with AND. Attribute names resolve against `schema`. Keywords
+/// are case-insensitive.
+Result<ParsedQuery> ParseSliceQuery(const std::string& sql,
+                                    const CubeSchema& schema);
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_ENGINE_QUERY_PARSER_H_

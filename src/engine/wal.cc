@@ -1,0 +1,63 @@
+#include "engine/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace cubetree {
+
+namespace {
+// Per-record header: 4-byte length. A real log adds LSN/txn ids; the
+// length-prefixed row image is enough to model the I/O volume.
+constexpr size_t kRecordHeader = 4;
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
+    const std::string& path, std::shared_ptr<IoStats> io_stats) {
+  CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  CT_ASSIGN_OR_RETURN(auto file,
+                      PageManager::Create(path, std::move(io_stats)));
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(file)));
+}
+
+Status WriteAheadLog::LogRecord(const char* data, size_t size) {
+  size_t remaining = size;
+  const char* src = data;
+  // Header, possibly split across a page boundary like the payload.
+  char header[kRecordHeader];
+  EncodeFixed32(header, static_cast<uint32_t>(size));
+  const char* pieces[2] = {header, src};
+  size_t lens[2] = {kRecordHeader, remaining};
+  for (int p = 0; p < 2; ++p) {
+    const char* cursor = pieces[p];
+    size_t left = lens[p];
+    while (left > 0) {
+      const size_t room = kPageSize - page_used_;
+      const size_t n = std::min(room, left);
+      std::memcpy(page_.data + page_used_, cursor, n);
+      page_used_ += n;
+      cursor += n;
+      left -= n;
+      if (page_used_ == kPageSize) {
+        CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
+        page_.Zero();
+        page_used_ = 0;
+      }
+    }
+  }
+  bytes_logged_ += size + kRecordHeader;
+  ++records_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Force() {
+  if (page_used_ > 0) {
+    CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
+    page_.Zero();
+    page_used_ = 0;
+  }
+  return file_->Sync();
+}
+
+}  // namespace cubetree

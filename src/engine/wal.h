@@ -1,0 +1,50 @@
+#ifndef CUBETREE_ENGINE_WAL_H_
+#define CUBETREE_ENGINE_WAL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page_manager.h"
+
+namespace cubetree {
+
+/// Minimal write-ahead log emulating the logging the relational engine
+/// performs on the conventional configuration's insert/update path (IUS
+/// logs every row touched by INSERT/UPDATE). Records are buffered into
+/// pages and written sequentially; Force() flushes the partial page and
+/// syncs, modeling a commit. The Cubetree Datablade's bulk loader and
+/// merge-packer write fresh files and swap them in, so that path runs —
+/// as its real counterpart did — without logging.
+class WriteAheadLog {
+ public:
+  static Result<std::unique_ptr<WriteAheadLog>> Create(
+      const std::string& path, std::shared_ptr<IoStats> io_stats = nullptr);
+
+  /// Appends one log record (a copy of the affected row image plus a small
+  /// header). Writes a page whenever one fills.
+  Status LogRecord(const char* data, size_t size);
+
+  /// Commit: flush the current partial page and fsync.
+  Status Force();
+
+  uint64_t BytesLogged() const { return bytes_logged_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  explicit WriteAheadLog(std::unique_ptr<PageManager> file)
+      : file_(std::move(file)) {
+    page_.Zero();
+  }
+
+  std::unique_ptr<PageManager> file_;
+  Page page_;
+  size_t page_used_ = 0;
+  uint64_t bytes_logged_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_ENGINE_WAL_H_

@@ -1,0 +1,80 @@
+#include "olap/lattice.h"
+
+#include <cmath>
+
+namespace cubetree {
+
+CubeLattice::CubeLattice(CubeSchema schema) : schema_(std::move(schema)) {
+  const size_t n = schema_.num_attrs();
+  const uint32_t num_masks = 1u << n;
+  top_mask_ = num_masks - 1;
+  nodes_.reserve(num_masks);
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    LatticeNode node;
+    node.mask = mask;
+    for (uint32_t a = 0; a < n; ++a) {
+      if (mask & (1u << a)) node.attrs.push_back(a);
+    }
+    by_mask_[mask] = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Result<const LatticeNode*> CubeLattice::NodeForMask(uint32_t mask) const {
+  auto it = by_mask_.find(mask);
+  if (it == by_mask_.end()) {
+    return Status::NotFound("lattice: no node for mask " +
+                            std::to_string(mask));
+  }
+  return &nodes_[it->second];
+}
+
+void CubeLattice::EstimateRowCounts(uint64_t fact_rows) {
+  for (LatticeNode& node : nodes_) {
+    double domain_product = 1.0;
+    for (uint32_t a : node.attrs) {
+      domain_product *= static_cast<double>(schema_.attr_domains[a]);
+    }
+    // Cardenas: expected distinct groups among N draws from D cells.
+    const double n = static_cast<double>(fact_rows);
+    double expected;
+    if (domain_product > n * 64) {
+      // Deep in the sparse regime the formula is numerically ~N.
+      expected = n;
+    } else {
+      expected =
+          domain_product * (1.0 - std::exp(-n / domain_product));
+    }
+    node.row_count =
+        static_cast<uint64_t>(std::min(expected, n) + 0.5);
+    if (node.attrs.empty()) node.row_count = 1;
+  }
+}
+
+Status CubeLattice::SetRowCount(uint32_t mask, uint64_t rows) {
+  auto it = by_mask_.find(mask);
+  if (it == by_mask_.end()) {
+    return Status::NotFound("lattice: no node for mask");
+  }
+  nodes_[it->second].row_count = rows;
+  return Status::OK();
+}
+
+std::vector<uint32_t> CubeLattice::ParentMasks(uint32_t mask) const {
+  std::vector<uint32_t> parents;
+  for (uint32_t a = 0; a < schema_.num_attrs(); ++a) {
+    const uint32_t bit = 1u << a;
+    if (!(mask & bit)) parents.push_back(mask | bit);
+  }
+  return parents;
+}
+
+uint64_t CubeLattice::NumSliceQueryTypes() const {
+  uint64_t total = 0;
+  for (const LatticeNode& node : nodes_) {
+    total += 1ull << node.attrs.size();
+  }
+  return total;
+}
+
+}  // namespace cubetree

@@ -1,0 +1,65 @@
+#ifndef CUBETREE_OLAP_LATTICE_H_
+#define CUBETREE_OLAP_LATTICE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cubetree/view_def.h"
+
+namespace cubetree {
+
+/// One node of the Data Cube lattice: a grouping-attribute set, with its
+/// (estimated or measured) number of group tuples.
+struct LatticeNode {
+  uint32_t mask = 0;
+  /// Attribute indices in ascending order (canonical order of the node).
+  std::vector<uint32_t> attrs;
+  uint64_t row_count = 0;
+};
+
+/// The Data Cube lattice over the attributes of a CubeSchema (the paper's
+/// Figure 9): one node per attribute subset, with the derives-from relation
+/// given by set containment. Used by view selection and by the cube builder
+/// to find the smallest parent of each view.
+class CubeLattice {
+ public:
+  /// The schema is copied; the lattice does not hold references into the
+  /// caller's object.
+  explicit CubeLattice(CubeSchema schema);
+
+  const CubeSchema& schema() const { return schema_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const LatticeNode& node(size_t i) const { return nodes_[i]; }
+  Result<const LatticeNode*> NodeForMask(uint32_t mask) const;
+
+  uint32_t top_mask() const { return top_mask_; }
+
+  /// Fills every node's row_count with the Cardenas estimate of the number
+  /// of distinct groups among `fact_rows` facts: D * (1 - (1 - 1/D)^N)
+  /// where D is the product of the node's attribute domains.
+  void EstimateRowCounts(uint64_t fact_rows);
+
+  /// Overrides one node's row count with a measured value.
+  Status SetRowCount(uint32_t mask, uint64_t rows);
+
+  /// Masks of the direct parents (supersets with exactly one more
+  /// attribute) — the dependency graph of the paper's Figure 10.
+  std::vector<uint32_t> ParentMasks(uint32_t mask) const;
+
+  /// Total number of slice-query types over all nodes: sum of 2^|g|
+  /// (27 for the paper's three-attribute lattice).
+  uint64_t NumSliceQueryTypes() const;
+
+ private:
+  CubeSchema schema_;
+  std::vector<LatticeNode> nodes_;
+  std::map<uint32_t, size_t> by_mask_;
+  uint32_t top_mask_ = 0;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_OLAP_LATTICE_H_

@@ -1,0 +1,141 @@
+#include "olap/query_model.h"
+
+#include <algorithm>
+
+namespace cubetree {
+
+std::string SliceQuery::ToString(const CubeSchema& schema) const {
+  std::string select = "SELECT ";
+  std::string where;
+  bool first_group = true;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (bindings[i].has_value()) {
+      if (!where.empty()) where += " AND ";
+      where += schema.attr_names[attrs[i]] + " = " +
+               std::to_string(*bindings[i]);
+    } else if (i < ranges.size() && ranges[i].has_value()) {
+      if (!where.empty()) where += " AND ";
+      where += schema.attr_names[attrs[i]] + " BETWEEN " +
+               std::to_string(ranges[i]->first) + " AND " +
+               std::to_string(ranges[i]->second);
+    }
+    if (IsGrouped(i)) {
+      if (!first_group) select += ", ";
+      select += schema.attr_names[attrs[i]];
+      first_group = false;
+    }
+  }
+  std::string out = select;
+  if (!first_group) out += ", ";
+  out += "SUM(" + schema.measure_name + ") FROM F";
+  if (!where.empty()) out += " WHERE " + where;
+  if (!first_group) {
+    out += " GROUP BY ";
+    bool first = true;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (IsGrouped(i)) {
+        if (!first) out += ", ";
+        out += schema.attr_names[attrs[i]];
+        first = false;
+      }
+    }
+  }
+  return out;
+}
+
+void QueryResult::SortRows() {
+  std::sort(rows.begin(), rows.end(),
+            [](const ResultRow& a, const ResultRow& b) {
+              return a.group < b.group;
+            });
+}
+
+bool QueryResult::SameRowsAs(const QueryResult& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].group != other.rows[i].group ||
+        !(rows[i].agg == other.rows[i].agg)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SliceQuery SliceQueryGenerator::ForNode(const std::vector<uint32_t>& attrs,
+                                        bool exclude_unbound) {
+  SliceQuery query;
+  query.attrs = attrs;
+  for (uint32_t a : attrs) query.node_mask |= (1u << a);
+  query.bindings.assign(attrs.size(), std::nullopt);
+  if (attrs.empty()) return query;
+
+  const uint64_t num_types = 1ull << attrs.size();
+  uint64_t type;
+  do {
+    type = rng_.Uniform(num_types);
+  } while (exclude_unbound && type == 0);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (type & (1ull << i)) {
+      const uint32_t domain = schema_.attr_domains[attrs[i]];
+      query.bindings[i] =
+          static_cast<Coord>(rng_.UniformRange(1, std::max(1u, domain)));
+    }
+  }
+  return query;
+}
+
+SliceQuery SliceQueryGenerator::ForNodeRange(
+    const std::vector<uint32_t>& attrs, double range_fraction,
+    bool exclude_unbound) {
+  SliceQuery query;
+  query.attrs = attrs;
+  for (uint32_t a : attrs) query.node_mask |= (1u << a);
+  query.bindings.assign(attrs.size(), std::nullopt);
+  query.ranges.assign(attrs.size(), std::nullopt);
+  if (attrs.empty()) return query;
+
+  const uint64_t num_types = 1ull << attrs.size();
+  uint64_t type;
+  do {
+    type = rng_.Uniform(num_types);
+  } while (exclude_unbound && type == 0);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (!(type & (1ull << i))) continue;
+    const uint32_t domain = std::max(1u, schema_.attr_domains[attrs[i]]);
+    const uint32_t span = std::max<uint32_t>(
+        1, static_cast<uint32_t>(domain * range_fraction));
+    const Coord lo =
+        static_cast<Coord>(rng_.UniformRange(1, std::max(1u, domain - span + 1)));
+    query.ranges[i] = std::make_pair(lo, static_cast<Coord>(lo + span - 1));
+  }
+  return query;
+}
+
+SliceQuery SliceQueryGenerator::UniformOverLattice(const CubeLattice& lattice,
+                                                   bool exclude_unbound,
+                                                   bool skip_none_node) {
+  // Pick a (node, type) pair uniformly by weighting nodes by their number
+  // of admissible types.
+  std::vector<uint64_t> weights(lattice.num_nodes(), 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < lattice.num_nodes(); ++i) {
+    const size_t k = lattice.node(i).attrs.size();
+    if (skip_none_node && k == 0) continue;
+    uint64_t types = 1ull << k;
+    if (exclude_unbound && types > 1) types -= 1;
+    weights[i] = types;
+    total += types;
+  }
+  uint64_t draw = rng_.Uniform(std::max<uint64_t>(total, 1));
+  size_t chosen = 0;
+  for (size_t i = 0; i < lattice.num_nodes(); ++i) {
+    if (draw < weights[i]) {
+      chosen = i;
+      break;
+    }
+    draw -= weights[i];
+  }
+  return ForNode(lattice.node(chosen).attrs, exclude_unbound);
+}
+
+}  // namespace cubetree

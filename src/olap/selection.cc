@@ -1,0 +1,212 @@
+#include "olap/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cubetree {
+
+std::string IndexDef::Name(const CubeSchema& schema) const {
+  std::string out = "I{";
+  for (size_t i = 0; i < key_attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.attr_names[key_attrs[i]];
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// One slice-query type: lattice node `mask` with bound attrs `bound`.
+struct QueryType {
+  uint32_t mask = 0;
+  uint32_t bound = 0;
+};
+
+struct MaterializedView {
+  uint32_t mask = 0;
+  std::vector<uint32_t> attrs;
+  uint64_t rows = 0;
+  std::vector<std::vector<uint32_t>> index_keys;  // Selected indices on it.
+};
+
+/// Tuples accessed when answering `q` from view `w` using the best
+/// available index on `w` (or a scan). Costs are kept as (possibly
+/// fractional) expectations rather than clamped to one tuple: the residual
+/// differences between deep index prefixes are exactly the tie-breaking
+/// signal that makes the greedy prefer an index whose key extends coverage
+/// to an un-covered attribute pair.
+double CostViaView(const QueryType& q, const MaterializedView& w,
+                   const CubeSchema& schema) {
+  double best = static_cast<double>(w.rows);  // Full scan.
+  for (const auto& key : w.index_keys) {
+    double selectivity = 1.0;
+    for (uint32_t attr : key) {
+      if (!(q.bound & (1u << attr))) break;  // Prefix ends.
+      selectivity *= static_cast<double>(schema.attr_domains[attr]);
+    }
+    best = std::min(best, static_cast<double>(w.rows) / selectivity);
+  }
+  return best;
+}
+
+/// Current best cost of `q` over all materialized views (plus the fact
+/// table fallback).
+double CurrentCost(const QueryType& q,
+                   const std::vector<MaterializedView>& views,
+                   const CubeSchema& schema, double fact_rows) {
+  double best = fact_rows;
+  for (const MaterializedView& w : views) {
+    if ((w.mask & q.mask) == q.mask) {
+      best = std::min(best, CostViaView(q, w, schema));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<SelectionResult> GreedySelect(const CubeLattice& lattice,
+                                     const GreedyOptions& options) {
+  const CubeSchema& schema = lattice.schema();
+  if (schema.num_attrs() == 0 || schema.num_attrs() > 16) {
+    return Status::InvalidArgument("selection: unsupported attribute count");
+  }
+
+  // Enumerate all slice-query types (node, bound subset).
+  std::vector<QueryType> types;
+  for (size_t i = 0; i < lattice.num_nodes(); ++i) {
+    const uint32_t mask = lattice.node(i).mask;
+    // All subsets of `mask`.
+    uint32_t sub = mask;
+    while (true) {
+      types.push_back(QueryType{mask, sub});
+      if (sub == 0) break;
+      sub = (sub - 1) & mask;
+    }
+  }
+
+  CT_ASSIGN_OR_RETURN(const LatticeNode* top,
+                      lattice.NodeForMask(lattice.top_mask()));
+  const double fact_rows = static_cast<double>(
+      std::max<uint64_t>(top->row_count, 1));
+
+  SelectionResult result;
+  std::vector<MaterializedView> materialized;
+
+  auto materialize = [&](const LatticeNode& node) {
+    MaterializedView w;
+    w.mask = node.mask;
+    w.attrs = node.attrs;
+    w.rows = std::max<uint64_t>(node.row_count, 1);
+    materialized.push_back(std::move(w));
+    ViewDef view;
+    view.id = node.mask;
+    view.attrs = node.attrs;
+    result.views.push_back(std::move(view));
+  };
+
+  // The top view is always materialized (HRU96 baseline) so every node of
+  // the lattice is answerable from a summary table.
+  {
+    const double benefit =
+        static_cast<double>(types.size()) *
+        (fact_rows - static_cast<double>(top->row_count));
+    materialize(*top);
+    result.picks.push_back(SelectionPick{false, top->mask, benefit});
+  }
+
+  uint32_t next_index_id = 1;
+  while (result.picks.size() < options.max_structures) {
+    // Current per-type costs.
+    std::vector<double> current(types.size());
+    for (size_t t = 0; t < types.size(); ++t) {
+      current[t] = CurrentCost(types[t], materialized, schema, fact_rows);
+    }
+
+    double best_benefit = 0;
+    int best_view = -1;  // Lattice node index.
+    int best_index_owner = -1;
+    std::vector<uint32_t> best_index_key;
+
+    // View candidates: unmaterialized lattice nodes.
+    for (size_t i = 0; i < lattice.num_nodes(); ++i) {
+      const LatticeNode& node = lattice.node(i);
+      bool already = false;
+      for (const auto& w : materialized) already |= (w.mask == node.mask);
+      if (already) continue;
+      const double rows = static_cast<double>(std::max<uint64_t>(
+          node.row_count, 1));
+      double benefit = 0;
+      for (size_t t = 0; t < types.size(); ++t) {
+        if ((node.mask & types[t].mask) == types[t].mask) {
+          benefit += std::max(0.0, current[t] - rows);
+        }
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_view = static_cast<int>(i);
+        best_index_owner = -1;
+      }
+    }
+
+    // Index candidates: permutations of each materialized view's attrs.
+    if (options.include_indices) {
+      for (size_t wi = 0; wi < materialized.size(); ++wi) {
+        const MaterializedView& w = materialized[wi];
+        if (w.attrs.empty() || w.attrs.size() > options.max_index_arity) {
+          continue;
+        }
+        std::vector<uint32_t> perm = w.attrs;
+        std::sort(perm.begin(), perm.end());
+        do {
+          bool already = false;
+          for (const auto& key : w.index_keys) already |= (key == perm);
+          if (already) continue;
+          double benefit = 0;
+          for (size_t t = 0; t < types.size(); ++t) {
+            const QueryType& q = types[t];
+            if ((w.mask & q.mask) != q.mask) continue;
+            double selectivity = 1.0;
+            for (uint32_t attr : perm) {
+              if (!(q.bound & (1u << attr))) break;
+              selectivity *= static_cast<double>(schema.attr_domains[attr]);
+            }
+            const double cost =
+                static_cast<double>(w.rows) / selectivity;
+            benefit += std::max(0.0, current[t] - cost);
+          }
+          if (benefit > best_benefit) {
+            best_benefit = benefit;
+            best_view = -1;
+            best_index_owner = static_cast<int>(wi);
+            best_index_key = perm;
+          }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+      }
+    }
+
+    if (best_benefit < options.min_benefit) break;
+
+    if (best_view >= 0) {
+      const LatticeNode& node = lattice.node(best_view);
+      materialize(node);
+      result.picks.push_back(SelectionPick{false, node.mask, best_benefit});
+    } else if (best_index_owner >= 0) {
+      MaterializedView& w = materialized[best_index_owner];
+      w.index_keys.push_back(best_index_key);
+      IndexDef index;
+      index.id = next_index_id++;
+      index.view_id = w.mask;
+      index.key_attrs = best_index_key;
+      result.picks.push_back(SelectionPick{true, index.id, best_benefit});
+      result.indices.push_back(std::move(index));
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cubetree

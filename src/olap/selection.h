@@ -1,0 +1,67 @@
+#ifndef CUBETREE_OLAP_SELECTION_H_
+#define CUBETREE_OLAP_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cubetree/view_def.h"
+#include "olap/lattice.h"
+
+namespace cubetree {
+
+/// A B-tree index candidate/selection: built over the materialized view
+/// `view_id`, with search key = the concatenation of `key_attrs` (the
+/// paper's I_{a,b,c} notation).
+struct IndexDef {
+  uint32_t id = 0;
+  uint32_t view_id = 0;
+  std::vector<uint32_t> key_attrs;
+
+  std::string Name(const CubeSchema& schema) const;
+};
+
+/// One greedy pick, for reporting/verification.
+struct SelectionPick {
+  bool is_index = false;
+  uint32_t structure_id = 0;  // View id or index id.
+  double benefit = 0.0;
+};
+
+/// Output of the greedy selection.
+struct SelectionResult {
+  std::vector<ViewDef> views;      // In pick order; views[0] is the top view.
+  std::vector<IndexDef> indices;   // In pick order.
+  std::vector<SelectionPick> picks;
+};
+
+struct GreedyOptions {
+  /// Total structures to select (views + indices), top view included. The
+  /// paper's TPC-D configuration selects 9: 6 views and 3 indices.
+  size_t max_structures = 9;
+  /// Stop early when the best remaining benefit falls below this.
+  double min_benefit = 1.0;
+  /// Consider index candidates (permutations of materialized views' attrs).
+  bool include_indices = true;
+  /// Index candidates are generated only for views of arity <= this bound
+  /// (permutation count grows factorially).
+  uint8_t max_index_arity = 4;
+};
+
+/// The 1-greedy view-and-index selection of [GHRU97] as used by the paper
+/// (Section 3): the cost of a slice query is the number of tuples accessed
+/// in the tables and indices that answer it; the top view is always
+/// materialized (the lattice cannot be answered from summary tables without
+/// it, per [HRU96]); each round picks the view or index with the largest
+/// total cost reduction over the uniform slice-query workload (one query
+/// type per (node, bound-subset) pair — 27 types for the paper's lattice).
+///
+/// On TPC-D statistics this reproduces the paper's selection:
+///   V = {psc, ps, c, s, p, none},  I = {I_csp, I_pcs, I_spc}.
+Result<SelectionResult> GreedySelect(const CubeLattice& lattice,
+                                     const GreedyOptions& options);
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_OLAP_SELECTION_H_

@@ -1,0 +1,20 @@
+#include "rtree/geometry.h"
+
+namespace cubetree {
+
+std::string Rect::ToString(size_t dims) const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(lo[i]);
+  }
+  out += " .. ";
+  for (size_t i = 0; i < dims; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(hi[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace cubetree

@@ -1,0 +1,408 @@
+#include "rtree/packed_rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/coding.h"
+#include "rtree/node.h"
+
+namespace cubetree {
+
+namespace {
+
+constexpr uint32_t kRTreeMagic = 0x43545254;  // "CTRT"
+
+// Meta page (page 0) layout:
+//   [0..3]   magic
+//   [4]      dims
+//   [5]      compress flag
+//   [6..7]   pad
+//   [8..11]  root page
+//   [12..15] height
+//   [16..23] num_points
+//   [24..27] num_leaf_pages
+
+void WriteMetaPage(Page* page, const RTreeOptions& options, PageId root,
+                   uint32_t height, uint64_t num_points,
+                   PageId num_leaf_pages) {
+  page->Zero();
+  char* p = page->data;
+  EncodeFixed32(p, kRTreeMagic);
+  p[4] = static_cast<char>(options.dims);
+  p[5] = options.compress_leaves ? 1 : 0;
+  EncodeFixed32(p + 8, root);
+  EncodeFixed32(p + 12, height);
+  EncodeFixed64(p + 16, num_points);
+  EncodeFixed32(p + 24, num_leaf_pages);
+}
+
+}  // namespace
+
+PackedRTree::PackedRTree(std::unique_ptr<PageManager> file,
+                         RTreeOptions options, BufferPool* pool)
+    : file_(std::move(file)), options_(options), pool_(pool) {}
+
+PackedRTree::~PackedRTree() {
+  if (pool_ != nullptr) (void)pool_->DropFile(file_.get(), /*write_back=*/false);
+}
+
+Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
+    const std::string& path, const RTreeOptions& options, BufferPool* pool,
+    PointSource* source, std::function<uint8_t(uint32_t)> view_arity,
+    std::shared_ptr<IoStats> io_stats) {
+  if (options.dims == 0 || options.dims > kMaxDims) {
+    return Status::InvalidArgument("rtree: dims out of range");
+  }
+  CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  CT_ASSIGN_OR_RETURN(auto file,
+                      PageManager::Create(path, std::move(io_stats)));
+  auto tree = std::unique_ptr<PackedRTree>(
+      new PackedRTree(std::move(file), options, pool));
+  PageManager* pm = tree->file_.get();
+
+  // Reserve the meta page; it is filled in (one random write) at the end.
+  CT_RETURN_NOT_OK(pm->AllocatePage().status());
+
+  struct LevelEntry {
+    Rect mbr;
+    PageId page;
+  };
+  std::vector<LevelEntry> level;
+
+  // --- Leaf level -------------------------------------------------------
+  Page leaf;
+  uint16_t in_leaf = 0;
+  uint16_t leaf_target = 0;
+  uint8_t leaf_arity = 0;
+  uint32_t leaf_view = 0;
+  Rect leaf_mbr;
+  bool leaf_open = false;
+  uint64_t num_points = 0;
+  Coord prev_coords[kMaxDims];
+  bool have_prev = false;
+
+  auto flush_leaf = [&]() -> Status {
+    RNodeSetCount(leaf.data, in_leaf);
+    CT_ASSIGN_OR_RETURN(PageId id, pm->AppendPage(leaf));
+    level.push_back(LevelEntry{leaf_mbr, id});
+    leaf_open = false;
+    return Status::OK();
+  };
+
+  while (true) {
+    const PointRecord* rec = nullptr;
+    CT_RETURN_NOT_OK(source->Next(&rec));
+    if (rec == nullptr) break;
+    if (options.enforce_pack_order && have_prev &&
+        PackOrderCompare(prev_coords, rec->coords, options.dims) >= 0) {
+      return Status::InvalidArgument(
+          "rtree: bulk-load input not strictly ascending in pack order");
+    }
+    std::memcpy(prev_coords, rec->coords, sizeof(prev_coords));
+    have_prev = true;
+
+    const uint8_t arity =
+        options.compress_leaves ? view_arity(rec->view_id) : options.dims;
+    if (leaf_open && (rec->view_id != leaf_view || in_leaf == leaf_target)) {
+      CT_RETURN_NOT_OK(flush_leaf());
+    }
+    if (!leaf_open) {
+      leaf.Zero();
+      leaf_arity = arity;
+      leaf_view = rec->view_id;
+      leaf_target = std::max<uint16_t>(
+          1, static_cast<uint16_t>(RLeafCapacity(leaf_arity) *
+                                   std::clamp(options.leaf_fill, 0.1, 1.0)));
+      if (options.max_leaf_entries > 0) {
+        leaf_target = std::min(leaf_target, options.max_leaf_entries);
+      }
+      RNodeSetHeader(leaf.data, /*is_leaf=*/true, leaf_arity, 0, leaf_view);
+      in_leaf = 0;
+      leaf_mbr = Rect::FromPoint(rec->coords, options.dims);
+      leaf_open = true;
+    }
+    char* dest = leaf.data + kRNodeHeaderSize +
+                 static_cast<size_t>(in_leaf) * RLeafEntryBytes(leaf_arity);
+    RLeafWriteEntry(dest, rec->coords, leaf_arity, rec->agg);
+    leaf_mbr.ExpandToPoint(rec->coords, options.dims);
+    ++in_leaf;
+    ++num_points;
+  }
+  if (leaf_open) {
+    CT_RETURN_NOT_OK(flush_leaf());
+  }
+  tree->num_points_ = num_points;
+  tree->num_leaf_pages_ = static_cast<PageId>(level.size());
+
+  if (level.empty()) {
+    tree->root_ = kInvalidPageId;
+    tree->height_ = 0;
+    Page meta;
+    WriteMetaPage(&meta, options, kInvalidPageId, 0, 0, 0);
+    CT_RETURN_NOT_OK(pm->WritePage(0, meta));
+    return tree;
+  }
+
+  // --- Internal levels, bottom-up ---------------------------------------
+  uint32_t height = 1;
+  uint16_t fanout = std::max<uint16_t>(
+      2, static_cast<uint16_t>(RInternalCapacity(options.dims) *
+                               std::clamp(options.internal_fill, 0.1, 1.0)));
+  if (options.max_internal_entries > 1) {
+    fanout = std::min(fanout, options.max_internal_entries);
+  }
+  Page node;
+  while (level.size() > 1) {
+    std::vector<LevelEntry> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      const size_t children = std::min<size_t>(fanout, level.size() - i);
+      node.Zero();
+      RNodeSetHeader(node.data, /*is_leaf=*/false, options.dims,
+                     static_cast<uint16_t>(children), 0);
+      Rect mbr = level[i].mbr;
+      for (size_t c = 0; c < children; ++c) {
+        char* dest = node.data + kRNodeHeaderSize +
+                     c * RInternalEntryBytes(options.dims);
+        RInternalWriteEntry(dest, level[i + c].mbr, options.dims,
+                            level[i + c].page);
+        mbr.ExpandToRect(level[i + c].mbr, options.dims);
+      }
+      CT_ASSIGN_OR_RETURN(PageId id, pm->AppendPage(node));
+      next_level.push_back(LevelEntry{mbr, id});
+      i += children;
+    }
+    level.swap(next_level);
+    ++height;
+  }
+  tree->root_ = level[0].page;
+  tree->height_ = height;
+
+  Page meta;
+  WriteMetaPage(&meta, options, tree->root_, tree->height_, num_points,
+                tree->num_leaf_pages_);
+  CT_RETURN_NOT_OK(pm->WritePage(0, meta));
+  return tree;
+}
+
+Result<std::unique_ptr<PackedRTree>> PackedRTree::Open(
+    const std::string& path, BufferPool* pool,
+    std::shared_ptr<IoStats> io_stats) {
+  CT_ASSIGN_OR_RETURN(auto file, PageManager::Open(path, std::move(io_stats)));
+  Page meta;
+  CT_RETURN_NOT_OK(file->ReadPage(0, &meta));
+  const char* p = meta.data;
+  if (DecodeFixed32(p) != kRTreeMagic) {
+    return Status::Corruption("rtree: bad magic in " + path);
+  }
+  RTreeOptions options;
+  options.dims = static_cast<uint8_t>(p[4]);
+  options.compress_leaves = p[5] != 0;
+  auto tree = std::unique_ptr<PackedRTree>(
+      new PackedRTree(std::move(file), options, pool));
+  tree->root_ = DecodeFixed32(p + 8);
+  tree->height_ = DecodeFixed32(p + 12);
+  tree->num_points_ = DecodeFixed64(p + 16);
+  tree->num_leaf_pages_ = DecodeFixed32(p + 24);
+  return tree;
+}
+
+Status PackedRTree::SearchNode(
+    PageId node_id, const Rect& query,
+    const std::function<void(const PointRecord&)>& emit, SearchStats* stats) {
+  CT_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(file_.get(), node_id));
+  const char* page = handle.data();
+  const uint16_t count = RNodeCount(page);
+  if (RNodeIsLeaf(page)) {
+    if (stats != nullptr) ++stats->leaf_pages;
+    const uint8_t arity = RNodeArity(page);
+    const uint32_t view_id = RNodeViewId(page);
+    const size_t entry_bytes = RLeafEntryBytes(arity);
+    PointRecord rec;
+    for (uint16_t i = 0; i < count; ++i) {
+      RLeafReadEntry(page + kRNodeHeaderSize + i * entry_bytes, arity,
+                     view_id, &rec);
+      if (stats != nullptr) ++stats->points_examined;
+      if (query.ContainsPoint(rec.coords, options_.dims)) {
+        if (stats != nullptr) ++stats->points_emitted;
+        emit(rec);
+      }
+    }
+    return Status::OK();
+  }
+  if (stats != nullptr) ++stats->internal_pages;
+  const size_t entry_bytes = RInternalEntryBytes(options_.dims);
+  // Collect matching children first so the handle is released before
+  // recursion (keeps pinned frames bounded by tree height).
+  std::vector<PageId> matches;
+  Rect mbr;
+  PageId child;
+  for (uint16_t i = 0; i < count; ++i) {
+    RInternalReadEntry(page + kRNodeHeaderSize + i * entry_bytes,
+                       options_.dims, &mbr, &child);
+    if (query.Intersects(mbr, options_.dims)) matches.push_back(child);
+  }
+  handle.Release();
+  for (PageId m : matches) {
+    CT_RETURN_NOT_OK(SearchNode(m, query, emit, stats));
+  }
+  return Status::OK();
+}
+
+Status PackedRTree::Search(const Rect& query,
+                           const std::function<void(const PointRecord&)>& emit,
+                           SearchStats* stats) {
+  if (root_ == kInvalidPageId) return Status::OK();
+  return SearchNode(root_, query, emit, stats);
+}
+
+namespace {
+
+/// Recursion helper for Validate: computes the actual bounding box of the
+/// subtree at `node` while checking invariants.
+struct ValidateContext {
+  PageManager* file;
+  BufferPool* pool;
+  uint8_t dims;
+  uint64_t points = 0;
+};
+
+Status ValidateNode(ValidateContext* ctx, PageId node_id, Rect* bounds) {
+  CT_ASSIGN_OR_RETURN(PageHandle handle,
+                      ctx->pool->Fetch(ctx->file, node_id));
+  const char* page = handle.data();
+  const uint16_t count = RNodeCount(page);
+  if (count == 0) {
+    return Status::Corruption("rtree validate: empty node " +
+                              std::to_string(node_id));
+  }
+  if (RNodeIsLeaf(page)) {
+    const uint8_t arity = RNodeArity(page);
+    const uint32_t view_id = RNodeViewId(page);
+    const size_t entry_bytes = RLeafEntryBytes(arity);
+    PointRecord rec;
+    for (uint16_t i = 0; i < count; ++i) {
+      RLeafReadEntry(page + kRNodeHeaderSize + i * entry_bytes, arity,
+                     view_id, &rec);
+      for (size_t d = arity; d < ctx->dims; ++d) {
+        if (rec.coords[d] != 0) {
+          return Status::Corruption(
+              "rtree validate: non-zero suppressed coordinate");
+        }
+      }
+      if (i == 0) {
+        *bounds = Rect::FromPoint(rec.coords, ctx->dims);
+      } else {
+        bounds->ExpandToPoint(rec.coords, ctx->dims);
+      }
+      ++ctx->points;
+    }
+    return Status::OK();
+  }
+  const size_t entry_bytes = RInternalEntryBytes(ctx->dims);
+  std::vector<std::pair<Rect, PageId>> children;
+  Rect mbr;
+  PageId child;
+  for (uint16_t i = 0; i < count; ++i) {
+    RInternalReadEntry(page + kRNodeHeaderSize + i * entry_bytes, ctx->dims,
+                       &mbr, &child);
+    children.push_back({mbr, child});
+    if (i == 0) {
+      *bounds = mbr;
+    } else {
+      bounds->ExpandToRect(mbr, ctx->dims);
+    }
+  }
+  handle.Release();
+  for (const auto& [claimed, child_id] : children) {
+    Rect actual;
+    CT_RETURN_NOT_OK(ValidateNode(ctx, child_id, &actual));
+    for (size_t d = 0; d < ctx->dims; ++d) {
+      if (actual.lo[d] < claimed.lo[d] || actual.hi[d] > claimed.hi[d]) {
+        return Status::Corruption(
+            "rtree validate: child " + std::to_string(child_id) +
+            " exceeds its parent MBR in dim " + std::to_string(d));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PackedRTree::Validate() {
+  if (root_ == kInvalidPageId) {
+    if (num_points_ != 0) {
+      return Status::Corruption("rtree validate: no root but points > 0");
+    }
+    return Status::OK();
+  }
+  ValidateContext ctx{file_.get(), pool_, options_.dims};
+  Rect bounds;
+  CT_RETURN_NOT_OK(ValidateNode(&ctx, root_, &bounds));
+  if (ctx.points != num_points_) {
+    return Status::Corruption("rtree validate: point count mismatch");
+  }
+  // Global pack order and single-view leaves, via the sequential scan.
+  Scanner scanner = ScanAll();
+  Coord prev[kMaxDims];
+  bool have_prev = false;
+  uint64_t scanned = 0;
+  uint32_t last_view = 0;
+  std::set<uint32_t> closed_views;
+  while (true) {
+    const PointRecord* rec = nullptr;
+    CT_RETURN_NOT_OK(scanner.Next(&rec));
+    if (rec == nullptr) break;
+    if (have_prev &&
+        PackOrderCompare(prev, rec->coords, options_.dims) >= 0) {
+      return Status::Corruption("rtree validate: leaves not in pack order");
+    }
+    std::memcpy(prev, rec->coords, sizeof(prev));
+    have_prev = true;
+    if (scanned == 0 || rec->view_id != last_view) {
+      // A view's run must be contiguous: once left, it cannot reappear.
+      if (scanned > 0) closed_views.insert(last_view);
+      if (closed_views.count(rec->view_id)) {
+        return Status::Corruption(
+            "rtree validate: view leaves are interleaved");
+      }
+      last_view = rec->view_id;
+    }
+    ++scanned;
+  }
+  if (scanned != num_points_) {
+    return Status::Corruption("rtree validate: scan count mismatch");
+  }
+  return Status::OK();
+}
+
+Status PackedRTree::Scanner::Next(const PointRecord** record) {
+  while (true) {
+    if (!loaded_) {
+      if (next_page_ > tree_->num_leaf_pages_) {
+        *record = nullptr;
+        return Status::OK();
+      }
+      CT_RETURN_NOT_OK(tree_->file_->ReadPage(next_page_, &page_));
+      ++next_page_;
+      count_ = RNodeCount(page_.data);
+      slot_ = 0;
+      loaded_ = true;
+    }
+    if (slot_ < count_) {
+      const uint8_t arity = RNodeArity(page_.data);
+      const uint32_t view_id = RNodeViewId(page_.data);
+      RLeafReadEntry(
+          page_.data + kRNodeHeaderSize + slot_ * RLeafEntryBytes(arity),
+          arity, view_id, &record_);
+      ++slot_;
+      *record = &record_;
+      return Status::OK();
+    }
+    loaded_ = false;
+  }
+}
+
+}  // namespace cubetree

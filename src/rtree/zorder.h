@@ -1,0 +1,40 @@
+#ifndef CUBETREE_RTREE_ZORDER_H_
+#define CUBETREE_RTREE_ZORDER_H_
+
+#include <cstdint>
+
+#include "rtree/geometry.h"
+
+namespace cubetree {
+
+/// Z-order (Morton) comparison of two points without materializing the
+/// interleaved key: the point with the smaller coordinate in the dimension
+/// holding the most significant differing bit comes first (Chan's
+/// XOR-MSB trick). This is the family of space-filling-curve sort orders
+/// ([FR89]) that the paper's Section 2.3 explicitly decides *against* for
+/// Cubetree packing, because an interleaved order destroys the contiguity
+/// of each view's leaf run (and with it the zero-suppression compression
+/// and the clean merge-pack). It is implemented here for the ablation that
+/// quantifies that decision.
+inline int ZOrderCompare(const Coord* a, const Coord* b, size_t dims) {
+  // `best` tracks the XOR with the highest set bit seen so far; the
+  // classic less-msb test (x < y && x < (x ^ y)) finds whether a new XOR's
+  // top bit exceeds it. Within one bit level the interleaving puts the
+  // highest dimension first, so ties must keep the higher dimension —
+  // hence the reverse iteration with a strict comparison.
+  uint32_t best = 0;
+  size_t best_dim = 0;
+  for (size_t d = dims; d > 0; --d) {
+    const uint32_t x = a[d - 1] ^ b[d - 1];
+    if (best < x && best < (best ^ x)) {
+      best = x;
+      best_dim = d - 1;
+    }
+  }
+  if (best == 0) return 0;
+  return a[best_dim] < b[best_dim] ? -1 : 1;
+}
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_RTREE_ZORDER_H_

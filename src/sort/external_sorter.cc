@@ -1,0 +1,248 @@
+#include "sort/external_sorter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include <unistd.h>
+
+#include "sort/loser_tree.h"
+
+namespace cubetree {
+
+namespace {
+
+std::string NextRunPath(const std::string& dir) {
+  static std::atomic<uint64_t> counter{0};
+  return dir + "/ctsort_run_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".tmp";
+}
+
+/// Sequential reader over one spilled run file.
+class RunReader {
+ public:
+  RunReader(PageManager* file, size_t record_size, uint64_t num_records)
+      : file_(file),
+        record_size_(record_size),
+        remaining_(num_records),
+        per_page_(kPageSize / record_size) {}
+
+  /// Sets *record to the next record or nullptr when the run is exhausted.
+  Status Next(const char** record) {
+    if (remaining_ == 0) {
+      *record = nullptr;
+      return Status::OK();
+    }
+    if (in_page_ == per_page_ || next_page_ == 0) {
+      CT_RETURN_NOT_OK(file_->ReadPage(next_page_, &page_));
+      ++next_page_;
+      in_page_ = 0;
+    }
+    *record = page_.data + in_page_ * record_size_;
+    ++in_page_;
+    --remaining_;
+    return Status::OK();
+  }
+
+ private:
+  PageManager* file_;
+  size_t record_size_;
+  uint64_t remaining_;
+  size_t per_page_;
+  Page page_;
+  PageId next_page_ = 0;
+  size_t in_page_ = per_page_;  // Forces a page read on first Next().
+};
+
+/// Loser-tree merge of several RunReaders.
+class MergeRecordStream : public RecordStream {
+ public:
+  MergeRecordStream(std::vector<RunReader> readers, RecordComparator less)
+      : readers_(std::move(readers)), less_(std::move(less)) {}
+
+  Status Next(const char** record) override {
+    if (!primed_) {
+      current_.resize(readers_.size());
+      for (size_t i = 0; i < readers_.size(); ++i) {
+        CT_RETURN_NOT_OK(readers_[i].Next(&current_[i]));
+      }
+      tree_ = std::make_unique<LoserTree>(
+          readers_.size(), [this](size_t a, size_t b) {
+            if (current_[a] == nullptr) return false;
+            if (current_[b] == nullptr) return true;
+            return less_(current_[a], current_[b]);
+          });
+      primed_ = true;
+    } else {
+      const size_t w = tree_->Winner();
+      CT_RETURN_NOT_OK(readers_[w].Next(&current_[w]));
+      tree_->Replay();
+    }
+    const size_t w = tree_->Winner();
+    *record = current_[w];
+    return Status::OK();
+  }
+
+ private:
+  std::vector<RunReader> readers_;
+  RecordComparator less_;
+  std::vector<const char*> current_;
+  std::unique_ptr<LoserTree> tree_;
+  bool primed_ = false;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options, RecordComparator less)
+    : options_(std::move(options)), less_(std::move(less)) {
+  // Floor the budget at 64 records: every spilled run keeps a file (and a
+  // descriptor) open until Finish, so degenerate budgets must not turn
+  // each record into its own run.
+  options_.memory_budget_bytes =
+      std::max(options_.memory_budget_bytes, options_.record_size * 64);
+  buffer_.reserve(options_.memory_budget_bytes);
+}
+
+ExternalSorter::~ExternalSorter() {
+  runs_.clear();
+  for (const std::string& path : run_paths_) {
+    (void)RemoveFileIfExists(path);
+  }
+}
+
+Status ExternalSorter::Add(const char* record) {
+  if (finished_) return Status::Internal("ExternalSorter: Add after Finish");
+  if (buffer_.size() + options_.record_size > options_.memory_budget_bytes) {
+    CT_RETURN_NOT_OK(SpillRun());
+  }
+  buffer_.insert(buffer_.end(), record, record + options_.record_size);
+  ++num_records_;
+  return Status::OK();
+}
+
+void ExternalSorter::SortBuffer() {
+  const size_t rs = options_.record_size;
+  const size_t n = buffer_.size() / rs;
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const char* base = buffer_.data();
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return less_(base + static_cast<size_t>(a) * rs,
+                 base + static_cast<size_t>(b) * rs);
+  });
+  std::vector<char> sorted(buffer_.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(sorted.data() + i * rs,
+                base + static_cast<size_t>(order[i]) * rs, rs);
+  }
+  buffer_.swap(sorted);
+}
+
+Status ExternalSorter::SpillRun() {
+  SortBuffer();
+  const size_t rs = options_.record_size;
+  const size_t per_page = kPageSize / rs;
+  const size_t n = buffer_.size() / rs;
+  std::string path = NextRunPath(options_.temp_dir);
+  CT_ASSIGN_OR_RETURN(auto file, PageManager::Create(path, options_.io_stats));
+  Page page;
+  size_t written = 0;
+  while (written < n) {
+    page.Zero();
+    const size_t batch = std::min(per_page, n - written);
+    std::memcpy(page.data, buffer_.data() + written * rs, batch * rs);
+    CT_RETURN_NOT_OK(file->AppendPage(page).status());
+    written += batch;
+  }
+  run_record_counts_.push_back(n);
+  runs_.push_back(std::move(file));
+  run_paths_.push_back(std::move(path));
+  buffer_.clear();
+  // Keep the number of simultaneously open run files bounded even while
+  // records are still arriving.
+  if (runs_.size() >= 2 * std::max<size_t>(2, options_.max_merge_fanin)) {
+    CT_RETURN_NOT_OK(ReduceRuns());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::MergeRunRange(size_t begin, size_t end) {
+  std::vector<RunReader> readers;
+  uint64_t total = 0;
+  for (size_t i = begin; i < end; ++i) {
+    readers.emplace_back(runs_[i].get(), options_.record_size,
+                         run_record_counts_[i]);
+    total += run_record_counts_[i];
+  }
+  MergeRecordStream merged(std::move(readers), less_);
+
+  const size_t rs = options_.record_size;
+  const size_t per_page = kPageSize / rs;
+  std::string path = NextRunPath(options_.temp_dir);
+  CT_ASSIGN_OR_RETURN(auto file, PageManager::Create(path, options_.io_stats));
+  Page page;
+  page.Zero();
+  size_t in_page = 0;
+  const char* record = nullptr;
+  while (true) {
+    CT_RETURN_NOT_OK(merged.Next(&record));
+    if (record == nullptr) break;
+    std::memcpy(page.data + in_page * rs, record, rs);
+    if (++in_page == per_page) {
+      CT_RETURN_NOT_OK(file->AppendPage(page).status());
+      page.Zero();
+      in_page = 0;
+    }
+  }
+  if (in_page > 0) {
+    CT_RETURN_NOT_OK(file->AppendPage(page).status());
+  }
+
+  // Retire the merged inputs; append the combined run.
+  for (size_t i = begin; i < end; ++i) {
+    runs_[i].reset();
+    CT_RETURN_NOT_OK(RemoveFileIfExists(run_paths_[i]));
+  }
+  runs_.erase(runs_.begin() + begin, runs_.begin() + end);
+  run_paths_.erase(run_paths_.begin() + begin, run_paths_.begin() + end);
+  run_record_counts_.erase(run_record_counts_.begin() + begin,
+                           run_record_counts_.begin() + end);
+  runs_.push_back(std::move(file));
+  run_paths_.push_back(std::move(path));
+  run_record_counts_.push_back(total);
+  return Status::OK();
+}
+
+Status ExternalSorter::ReduceRuns() {
+  const size_t fanin = std::max<size_t>(2, options_.max_merge_fanin);
+  while (runs_.size() > fanin) {
+    const size_t batch = std::min(fanin, runs_.size() - fanin + 1);
+    CT_RETURN_NOT_OK(MergeRunRange(0, batch));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecordStream>> ExternalSorter::Finish() {
+  if (finished_) return Status::Internal("ExternalSorter: double Finish");
+  finished_ = true;
+  if (runs_.empty()) {
+    SortBuffer();
+    return std::unique_ptr<RecordStream>(new MemoryRecordStream(
+        std::move(buffer_), options_.record_size));
+  }
+  if (!buffer_.empty()) {
+    CT_RETURN_NOT_OK(SpillRun());
+  }
+  CT_RETURN_NOT_OK(ReduceRuns());
+  std::vector<RunReader> readers;
+  readers.reserve(runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    readers.emplace_back(runs_[i].get(), options_.record_size,
+                         run_record_counts_[i]);
+  }
+  return std::unique_ptr<RecordStream>(
+      new MergeRecordStream(std::move(readers), less_));
+}
+
+}  // namespace cubetree

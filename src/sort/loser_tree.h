@@ -1,0 +1,71 @@
+#ifndef CUBETREE_SORT_LOSER_TREE_H_
+#define CUBETREE_SORT_LOSER_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace cubetree {
+
+/// Tournament (loser) tree for k-way merging. Players are identified by
+/// index; the tree tracks which player currently holds the smallest key.
+/// After the winner's stream advances (or is exhausted), Replay() restores
+/// the invariant in O(log k) comparisons.
+///
+/// `less(a, b)` compares players a and b by their current records; the tree
+/// itself treats exhausted players via the caller's comparator, which must
+/// rank an exhausted player after every live player.
+class LoserTree {
+ public:
+  /// `less` is captured by value and must remain valid for the tree's life.
+  LoserTree(size_t num_players, std::function<bool(size_t, size_t)> less)
+      : k_(num_players), less_(std::move(less)), losers_(k_, kNone) {
+    winner_ = k_ > 0 ? Init(1) : kNone;
+  }
+
+  /// Index of the player holding the current minimum.
+  size_t Winner() const { return winner_; }
+
+  /// Re-runs the winner's path after its record changed.
+  void Replay() {
+    size_t winner = winner_;
+    for (size_t node = (k_ + winner_) / 2; node >= 1; node /= 2) {
+      if (Less(losers_[node], winner)) {
+        std::swap(losers_[node], winner);
+      }
+      if (node == 1) break;
+    }
+    winner_ = winner;
+  }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  bool Less(size_t a, size_t b) const {
+    if (a == kNone) return false;
+    if (b == kNone) return true;
+    return less_(a, b);
+  }
+
+  /// Plays the full tournament for the subtree rooted at `node`, storing the
+  /// loser of each match; returns the subtree winner. Nodes are numbered
+  /// heap-style: internal nodes 1..k-1, leaf for player p at k+p.
+  size_t Init(size_t node) {
+    if (node >= k_) return node - k_;
+    size_t w1 = Init(2 * node);
+    size_t w2 = Init(2 * node + 1);
+    if (Less(w2, w1)) std::swap(w1, w2);
+    losers_[node] = w2;
+    return w1;
+  }
+
+  size_t k_;
+  std::function<bool(size_t, size_t)> less_;
+  std::vector<size_t> losers_;  // Index 0 unused.
+  size_t winner_ = kNone;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_SORT_LOSER_TREE_H_

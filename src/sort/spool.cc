@@ -1,0 +1,82 @@
+#include "sort/spool.h"
+
+#include <cstring>
+
+namespace cubetree {
+
+RecordSpool::RecordSpool(std::unique_ptr<PageManager> file,
+                         size_t record_size)
+    : file_(std::move(file)), record_size_(record_size) {
+  tail_.Zero();
+}
+
+RecordSpool::~RecordSpool() = default;
+
+Result<std::unique_ptr<RecordSpool>> RecordSpool::Create(
+    const std::string& path, size_t record_size,
+    std::shared_ptr<IoStats> io_stats) {
+  if (record_size == 0 || record_size > kPageSize) {
+    return Status::InvalidArgument("spool: unsupported record size");
+  }
+  CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  CT_ASSIGN_OR_RETURN(auto file,
+                      PageManager::Create(path, std::move(io_stats)));
+  return std::unique_ptr<RecordSpool>(
+      new RecordSpool(std::move(file), record_size));
+}
+
+Status RecordSpool::Append(const char* record) {
+  if (sealed_) return Status::Internal("spool: append after Seal");
+  std::memcpy(tail_.data + in_tail_ * record_size_, record, record_size_);
+  ++in_tail_;
+  ++num_records_;
+  if (in_tail_ == PerPage()) {
+    CT_RETURN_NOT_OK(file_->AppendPage(tail_).status());
+    tail_.Zero();
+    in_tail_ = 0;
+  }
+  return Status::OK();
+}
+
+Status RecordSpool::Seal() {
+  if (sealed_) return Status::OK();
+  if (in_tail_ > 0) {
+    CT_RETURN_NOT_OK(file_->AppendPage(tail_).status());
+    in_tail_ = 0;
+  }
+  sealed_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecordSpool::Reader>> RecordSpool::NewReader() {
+  if (!sealed_) return Status::Internal("spool: read before Seal");
+  auto reader = std::unique_ptr<Reader>(new Reader(this));
+  reader->remaining_ = num_records_;
+  return reader;
+}
+
+Status RecordSpool::Reader::Next(const char** record) {
+  if (remaining_ == 0) {
+    *record = nullptr;
+    return Status::OK();
+  }
+  const size_t per_page = spool_->PerPage();
+  if (!loaded_ || in_page_ == per_page) {
+    CT_RETURN_NOT_OK(spool_->file_->ReadPage(next_page_, &page_));
+    ++next_page_;
+    in_page_ = 0;
+    loaded_ = true;
+  }
+  *record = page_.data + in_page_ * spool_->record_size_;
+  ++in_page_;
+  --remaining_;
+  return Status::OK();
+}
+
+Status RecordSpool::Destroy() {
+  std::string path = file_->path();
+  file_.reset();
+  return RemoveFileIfExists(path);
+}
+
+}  // namespace cubetree

@@ -1,0 +1,165 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace cubetree {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  assert(pool_ != nullptr);
+  pool_->MarkFrameDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(size_t capacity_pages)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: write back whatever is dirty. Errors here cannot be
+  // reported; production callers should FlushAll() explicitly.
+  (void)FlushAll();
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+  if (f.pin_count == 0 && !f.in_lru) {
+    lru_.push_front(frame_index);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkFrameDirty(size_t frame_index) {
+  frames_[frame_index].dirty = true;
+}
+
+Status BufferPool::EvictFrame(size_t frame_index, bool write_back) {
+  Frame& f = frames_[frame_index];
+  assert(f.pin_count == 0);
+  if (f.dirty && write_back) {
+    CT_RETURN_NOT_OK(f.file->WritePage(f.page_id, *f.page));
+    ++stats_.dirty_writebacks;
+  }
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  page_table_.erase({f.file, f.page_id});
+  f.file = nullptr;
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    if (!frames_[idx].page) frames_[idx].page = std::make_unique<Page>();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned, cannot evict");
+  }
+  size_t victim = lru_.back();
+  CT_RETURN_NOT_OK(EvictFrame(victim, /*write_back=*/true));
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
+  auto it = page_table_.find({file, id});
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t idx = it->second;
+    Frame& f = frames_[idx];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, idx, f.page.get(), id);
+  }
+  ++stats_.misses;
+  CT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  Status read = file->ReadPage(id, f.page.get());
+  if (!read.ok()) {
+    free_frames_.push_back(idx);
+    return read;
+  }
+  f.file = file;
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[{file, id}] = idx;
+  return PageHandle(this, idx, f.page.get(), id);
+}
+
+Result<PageHandle> BufferPool::New(PageManager* file) {
+  CT_ASSIGN_OR_RETURN(PageId id, file->AllocatePage());
+  CT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  f.page->Zero();
+  f.file = file;
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  page_table_[{file, id}] = idx;
+  return PageHandle(this, idx, f.page.get(), id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.file != nullptr && f.dirty) {
+      CT_RETURN_NOT_OK(f.file->WritePage(f.page_id, *f.page));
+      ++stats_.dirty_writebacks;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropFile(PageManager* file, bool write_back) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.file == file) {
+      if (f.pin_count != 0) {
+        return Status::Internal("DropFile: page still pinned");
+      }
+      CT_RETURN_NOT_OK(EvictFrame(i, write_back));
+      free_frames_.push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cubetree

@@ -1,0 +1,70 @@
+#ifndef CUBETREE_STORAGE_IO_STATS_H_
+#define CUBETREE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace cubetree {
+
+/// Physical I/O counters, split by access pattern. The split matters because
+/// the paper's headline ratios (16:1 load, 100:1 refresh) are dominated by
+/// the sequential-vs-random asymmetry of late-90s disks; DiskModel converts
+/// these counters into modeled seconds on such a disk.
+struct IoStats {
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t sequential_writes = 0;
+  uint64_t random_writes = 0;
+
+  uint64_t TotalReads() const { return sequential_reads + random_reads; }
+  uint64_t TotalWrites() const { return sequential_writes + random_writes; }
+  uint64_t TotalOps() const { return TotalReads() + TotalWrites(); }
+  uint64_t TotalBytes() const { return TotalOps() * kPageSize; }
+
+  void Clear() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+    sequential_reads += other.sequential_reads;
+    random_reads += other.random_reads;
+    sequential_writes += other.sequential_writes;
+    random_writes += other.random_writes;
+    return *this;
+  }
+
+  friend IoStats operator-(IoStats a, const IoStats& b) {
+    a.sequential_reads -= b.sequential_reads;
+    a.random_reads -= b.random_reads;
+    a.sequential_writes -= b.sequential_writes;
+    a.random_writes -= b.random_writes;
+    return a;
+  }
+};
+
+/// Cost model of the storage device the paper ran on (single disk on an
+/// Ultra Sparc I, 1997): a random page access pays a seek+rotation penalty,
+/// a sequential page access streams at the transfer rate.
+struct DiskModel {
+  /// Average positioning time (seek + rotational latency) per random access.
+  double seek_seconds = 0.010;
+  /// Sustained sequential transfer rate in bytes/second.
+  double transfer_bytes_per_second = 8.0 * 1024 * 1024;
+
+  double PageTransferSeconds() const {
+    return static_cast<double>(kPageSize) / transfer_bytes_per_second;
+  }
+
+  /// Modeled elapsed seconds to perform the accesses in `stats`.
+  double ModeledSeconds(const IoStats& stats) const {
+    const double transfers =
+        static_cast<double>(stats.TotalOps()) * PageTransferSeconds();
+    const double seeks =
+        static_cast<double>(stats.random_reads + stats.random_writes) *
+        seek_seconds;
+    return transfers + seeks;
+  }
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_STORAGE_IO_STATS_H_

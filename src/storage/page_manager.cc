@@ -1,0 +1,139 @@
+#include "storage/page_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/stat.h>
+
+namespace cubetree {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PageManager::PageManager(std::string path, int fd, PageId num_pages,
+                         std::shared_ptr<IoStats> stats)
+    : path_(std::move(path)),
+      fd_(fd),
+      num_pages_(num_pages),
+      stats_(std::move(stats)) {
+  if (!stats_) stats_ = std::make_shared<IoStats>();
+}
+
+PageManager::~PageManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PageManager>> PageManager::Create(
+    const std::string& path, std::shared_ptr<IoStats> stats) {
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("create " + path);
+  return std::unique_ptr<PageManager>(
+      new PageManager(path, fd, 0, std::move(stats)));
+}
+
+Result<std::unique_ptr<PageManager>> PageManager::Open(
+    const std::string& path, std::shared_ptr<IoStats> stats) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("stat " + path);
+  }
+  if (st.st_size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption("page file " + path +
+                              " size is not page-aligned");
+  }
+  PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<PageManager>(
+      new PageManager(path, fd, pages, std::move(stats)));
+}
+
+void PageManager::RecordRead(PageId id) {
+  if (last_read_page_ != kInvalidPageId && id == last_read_page_ + 1) {
+    ++stats_->sequential_reads;
+  } else {
+    ++stats_->random_reads;
+  }
+  last_read_page_ = id;
+}
+
+void PageManager::RecordWrite(PageId id) {
+  if ((last_write_page_ != kInvalidPageId && id == last_write_page_ + 1) ||
+      (last_write_page_ == kInvalidPageId && id == 0)) {
+    ++stats_->sequential_writes;
+  } else {
+    ++stats_->random_writes;
+  }
+  last_write_page_ = id;
+}
+
+Result<PageId> PageManager::AllocatePage() {
+  Page zero;
+  zero.Zero();
+  return AppendPage(zero);
+}
+
+Status PageManager::ReadPage(PageId id, Page* page) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("read past end of page file " + path_);
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pread(fd_, page->data, kPageSize, offset);
+  if (n < 0) return ErrnoStatus("pread " + path_);
+  if (static_cast<size_t>(n) != kPageSize) {
+    return Status::Corruption("short read from " + path_);
+  }
+  RecordRead(id);
+  return Status::OK();
+}
+
+Status PageManager::WritePage(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("write past end of page file " + path_);
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
+  if (n < 0) return ErrnoStatus("pwrite " + path_);
+  if (static_cast<size_t>(n) != kPageSize) {
+    return Status::IOError("short write to " + path_);
+  }
+  RecordWrite(id);
+  return Status::OK();
+}
+
+Result<PageId> PageManager::AppendPage(const Page& page) {
+  const PageId id = num_pages_;
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
+  if (n < 0) return ErrnoStatus("append " + path_);
+  if (static_cast<size_t>(n) != kPageSize) {
+    return Status::IOError("short append to " + path_);
+  }
+  ++num_pages_;
+  RecordWrite(id);
+  return id;
+}
+
+Status PageManager::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_);
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cubetree

@@ -1,0 +1,85 @@
+#ifndef CUBETREE_STORAGE_PAGE_MANAGER_H_
+#define CUBETREE_STORAGE_PAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace cubetree {
+
+/// A PageManager owns one on-disk page file: it allocates, reads and writes
+/// fixed-size pages, and classifies each physical access as sequential
+/// (follows the previously accessed page) or random, feeding a shared
+/// IoStats. All structures in the library do their physical I/O through this
+/// class so benchmarks can account for every page touched.
+///
+/// Single-threaded by design, like the single-CPU/single-disk platform the
+/// paper evaluates on.
+class PageManager {
+ public:
+  /// Creates (truncating) a new page file at `path`. `stats` may be shared
+  /// across files to aggregate I/O for a whole configuration; pass nullptr
+  /// for private stats.
+  static Result<std::unique_ptr<PageManager>> Create(
+      const std::string& path, std::shared_ptr<IoStats> stats = nullptr);
+
+  /// Opens an existing page file. Fails if the size is not page-aligned.
+  static Result<std::unique_ptr<PageManager>> Open(
+      const std::string& path, std::shared_ptr<IoStats> stats = nullptr);
+
+  ~PageManager();
+
+  PageManager(const PageManager&) = delete;
+  PageManager& operator=(const PageManager&) = delete;
+
+  /// Extends the file by one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `*page`.
+  Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page` at page `id`; `id` must be < NumPages().
+  Status WritePage(PageId id, const Page& page);
+
+  /// Appends `page` at the end of the file (always a sequential write) and
+  /// returns its id. This is the packed-structure bulk-write path.
+  Result<PageId> AppendPage(const Page& page);
+
+  /// Flushes the file to stable storage.
+  Status Sync();
+
+  PageId NumPages() const { return num_pages_; }
+  uint64_t FileSizeBytes() const {
+    return static_cast<uint64_t>(num_pages_) * kPageSize;
+  }
+  const std::string& path() const { return path_; }
+  const IoStats& stats() const { return *stats_; }
+  const std::shared_ptr<IoStats>& shared_stats() const { return stats_; }
+
+ private:
+  PageManager(std::string path, int fd, PageId num_pages,
+              std::shared_ptr<IoStats> stats);
+
+  void RecordRead(PageId id);
+  void RecordWrite(PageId id);
+
+  std::string path_;
+  int fd_;
+  PageId num_pages_;
+  std::shared_ptr<IoStats> stats_;
+  // Heads used to classify accesses as sequential vs random.
+  PageId last_read_page_ = kInvalidPageId;
+  PageId last_write_page_ = kInvalidPageId;
+};
+
+/// Deletes the file at `path` if it exists. Used by tests and benches to
+/// reset workspaces.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_STORAGE_PAGE_MANAGER_H_

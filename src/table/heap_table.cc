@@ -1,0 +1,124 @@
+#include "table/heap_table.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace cubetree {
+
+namespace {
+constexpr size_t kPageHeaderSize = sizeof(uint32_t);  // Row count.
+}  // namespace
+
+HeapTable::HeapTable(std::unique_ptr<PageManager> file, const Schema* schema,
+                     BufferPool* pool, uint32_t row_overhead_bytes)
+    : file_(std::move(file)),
+      schema_(schema),
+      pool_(pool),
+      row_overhead_bytes_(row_overhead_bytes) {}
+
+HeapTable::~HeapTable() {
+  // Evict our pages so the pool never holds frames for a dead PageManager.
+  if (pool_ != nullptr) (void)pool_->DropFile(file_.get());
+}
+
+Result<std::unique_ptr<HeapTable>> HeapTable::Create(
+    const std::string& path, const Schema* schema, BufferPool* pool,
+    std::shared_ptr<IoStats> io_stats, uint32_t row_overhead_bytes) {
+  if (schema->row_size() == 0 ||
+      schema->row_size() + row_overhead_bytes >
+          kPageSize - kPageHeaderSize) {
+    return Status::InvalidArgument("heap table: unsupported row size");
+  }
+  CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  CT_ASSIGN_OR_RETURN(auto file,
+                      PageManager::Create(path, std::move(io_stats)));
+  return std::unique_ptr<HeapTable>(
+      new HeapTable(std::move(file), schema, pool, row_overhead_bytes));
+}
+
+uint32_t HeapTable::RowsPerPage() const {
+  return static_cast<uint32_t>(
+      (kPageSize - kPageHeaderSize) /
+      (schema_->row_size() + row_overhead_bytes_));
+}
+
+Result<RowId> HeapTable::Append(const char* row) {
+  const uint32_t per_page = RowsPerPage();
+  PageHandle handle;
+  if (tail_page_ != kInvalidPageId) {
+    CT_ASSIGN_OR_RETURN(handle, pool_->Fetch(file_.get(), tail_page_));
+    const uint32_t count = DecodeFixed32(handle.data());
+    if (count >= per_page) {
+      handle.Release();
+      CT_ASSIGN_OR_RETURN(handle, pool_->New(file_.get()));
+      tail_page_ = handle.id();
+    }
+  } else {
+    CT_ASSIGN_OR_RETURN(handle, pool_->New(file_.get()));
+    tail_page_ = handle.id();
+  }
+  const uint32_t count = DecodeFixed32(handle.data());
+  char* dest = handle.data() + kPageHeaderSize +
+               static_cast<size_t>(count) * schema_->row_size();
+  std::memcpy(dest, row, schema_->row_size());
+  EncodeFixed32(handle.data(), count + 1);
+  handle.MarkDirty();
+  ++num_rows_;
+  return RowId{tail_page_, count};
+}
+
+Status HeapTable::Get(RowId rid, char* out) {
+  CT_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(file_.get(), rid.page));
+  const uint32_t count = DecodeFixed32(handle.data());
+  if (rid.slot >= count) {
+    return Status::InvalidArgument("heap table: row slot out of range");
+  }
+  const char* src = handle.data() + kPageHeaderSize +
+                    static_cast<size_t>(rid.slot) * schema_->row_size();
+  std::memcpy(out, src, schema_->row_size());
+  return Status::OK();
+}
+
+Status HeapTable::Update(RowId rid, const char* row) {
+  CT_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(file_.get(), rid.page));
+  const uint32_t count = DecodeFixed32(handle.data());
+  if (rid.slot >= count) {
+    return Status::InvalidArgument("heap table: row slot out of range");
+  }
+  char* dest = handle.data() + kPageHeaderSize +
+               static_cast<size_t>(rid.slot) * schema_->row_size();
+  std::memcpy(dest, row, schema_->row_size());
+  handle.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapTable::Flush() { return pool_->FlushAll(); }
+
+Status HeapTable::Iterator::Next(const char** row) {
+  while (true) {
+    if (!loaded_) {
+      if (page_ >= table_->file_->NumPages()) {
+        *row = nullptr;
+        return Status::OK();
+      }
+      CT_ASSIGN_OR_RETURN(handle_, table_->pool_->Fetch(table_->file_.get(),
+                                                        page_));
+      rows_in_page_ = DecodeFixed32(handle_.data());
+      slot_ = 0;
+      loaded_ = true;
+    }
+    if (slot_ < rows_in_page_) {
+      *row = handle_.data() + kPageHeaderSize +
+             static_cast<size_t>(slot_) * table_->schema_->row_size();
+      rid_ = RowId{page_, slot_};
+      ++slot_;
+      return Status::OK();
+    }
+    handle_.Release();
+    loaded_ = false;
+    ++page_;
+  }
+}
+
+}  // namespace cubetree

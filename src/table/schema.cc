@@ -1,0 +1,96 @@
+#include "table/schema.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace cubetree {
+
+namespace {
+
+size_t TypeWidth(const Column& col) {
+  switch (col.type) {
+    case ColumnType::kUInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kChar:
+      return col.char_width;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  size_t offset = 0;
+  for (const Column& col : columns_) {
+    offsets_.push_back(offset);
+    offset += TypeWidth(col);
+  }
+  row_size_ = offset;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    switch (columns_[i].type) {
+      case ColumnType::kUInt32:
+        out += " uint32";
+        break;
+      case ColumnType::kInt64:
+        out += " int64";
+        break;
+      case ColumnType::kChar:
+        out += " char(" + std::to_string(columns_[i].char_width) + ")";
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+uint32_t RowRef::GetUInt32(size_t col) const {
+  return DecodeFixed32(data_ + schema_->column_offset(col));
+}
+
+int64_t RowRef::GetInt64(size_t col) const {
+  return static_cast<int64_t>(
+      DecodeFixed64(data_ + schema_->column_offset(col)));
+}
+
+std::string RowRef::GetString(size_t col) const {
+  const char* start = data_ + schema_->column_offset(col);
+  const size_t width = schema_->column(col).char_width;
+  size_t len = 0;
+  while (len < width && start[len] != '\0') ++len;
+  return std::string(start, len);
+}
+
+void RowRef::SetUInt32(size_t col, uint32_t value) {
+  EncodeFixed32(data_ + schema_->column_offset(col), value);
+}
+
+void RowRef::SetInt64(size_t col, int64_t value) {
+  EncodeFixed64(data_ + schema_->column_offset(col),
+                static_cast<uint64_t>(value));
+}
+
+void RowRef::SetString(size_t col, const std::string& value) {
+  char* start = data_ + schema_->column_offset(col);
+  const size_t width = schema_->column(col).char_width;
+  std::memset(start, 0, width);
+  std::memcpy(start, value.data(), std::min(width, value.size()));
+}
+
+}  // namespace cubetree

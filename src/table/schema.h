@@ -1,0 +1,101 @@
+#ifndef CUBETREE_TABLE_SCHEMA_H_
+#define CUBETREE_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+
+/// Column types supported by the relational substrate. Strings are
+/// fixed-width CHAR(n) (padded with NUL), which keeps rows fixed width — the
+/// layout the paper's summary tables and dimension tables need.
+enum class ColumnType : uint8_t {
+  kUInt32 = 0,  // Keys / foreign keys / group-by attributes.
+  kInt64 = 1,   // Aggregate sums, measures.
+  kChar = 2,    // Fixed-width text.
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kUInt32;
+  /// Width in bytes for kChar; ignored (derived) for numeric types.
+  uint32_t char_width = 0;
+};
+
+/// A fixed-width row layout: ordered columns with computed byte offsets.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  static Column UInt32(std::string name) {
+    return Column{std::move(name), ColumnType::kUInt32, 0};
+  }
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 0};
+  }
+  static Column Char(std::string name, uint32_t width) {
+    return Column{std::move(name), ColumnType::kChar, width};
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  size_t column_offset(size_t i) const { return offsets_[i]; }
+  size_t row_size() const { return row_size_; }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<size_t> offsets_;
+  size_t row_size_ = 0;
+};
+
+/// Read/write accessors over one fixed-width row image laid out by `schema`.
+/// RowRef does not own the bytes.
+class RowRef {
+ public:
+  RowRef(const Schema* schema, char* data) : schema_(schema), data_(data) {}
+
+  uint32_t GetUInt32(size_t col) const;
+  int64_t GetInt64(size_t col) const;
+  std::string GetString(size_t col) const;
+
+  void SetUInt32(size_t col, uint32_t value);
+  void SetInt64(size_t col, int64_t value);
+  /// Copies `value` into the CHAR column, truncating/padding to width.
+  void SetString(size_t col, const std::string& value);
+
+  const char* data() const { return data_; }
+  char* data() { return data_; }
+
+ private:
+  const Schema* schema_;
+  char* data_;
+};
+
+/// An owning row buffer for building rows before appending them.
+class RowBuffer {
+ public:
+  explicit RowBuffer(const Schema* schema)
+      : schema_(schema), bytes_(schema->row_size(), '\0') {}
+
+  RowRef ref() { return RowRef(schema_, bytes_.data()); }
+  const char* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  const Schema* schema_;
+  std::vector<char> bytes_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_TABLE_SCHEMA_H_

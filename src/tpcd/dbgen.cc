@@ -1,0 +1,259 @@
+#include "tpcd/dbgen.h"
+
+#include <algorithm>
+
+namespace cubetree {
+namespace tpcd {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+const char* const kContainers[] = {"SM CASE", "SM BOX",  "LG CASE",
+                                   "LG BOX",  "MED BAG", "JUMBO JAR",
+                                   "WRAP PKG", "MED DRUM"};
+
+std::string SyntheticText(const char* prefix, uint32_t key) {
+  std::string out = prefix;
+  out += "#";
+  std::string digits = std::to_string(key);
+  while (digits.size() < 9) digits.insert(digits.begin(), '0');
+  out += digits;
+  return out;
+}
+
+std::string SyntheticPhone(uint64_t h) {
+  std::string out;
+  out += std::to_string(10 + h % 25);
+  out += "-";
+  out += std::to_string(100 + (h >> 8) % 900);
+  out += "-";
+  out += std::to_string(100 + (h >> 24) % 900);
+  out += "-";
+  out += std::to_string(1000 + (h >> 40) % 9000);
+  return out;
+}
+
+/// Streams the lineitems of orders [begin, end), with deterministic
+/// per-order randomness so any order range can be regenerated.
+class OrderRangeFactSource : public FactSource {
+ public:
+  OrderRangeFactSource(const Generator* gen, uint64_t begin, uint64_t end,
+                       bool extended)
+      : gen_(gen), order_(begin), end_(end), extended_(extended) {}
+
+  Status Next(const FactTuple** tuple) override {
+    while (line_ >= lines_in_order_) {
+      if (order_ >= end_) {
+        *tuple = nullptr;
+        return Status::OK();
+      }
+      StartOrder(order_);
+      ++order_;
+    }
+    EmitLine();
+    ++line_;
+    *tuple = &tuple_;
+    return Status::OK();
+  }
+
+ private:
+  void StartOrder(uint64_t order_index) {
+    const TpcdSizes& sizes = gen_->sizes();
+    rng_.Seed(SplitMix64(gen_->options().seed ^
+                         (order_index * 0x5851F42D4C957F2DULL + 1)));
+    custkey_ = static_cast<Coord>(1 + rng_.Uniform(sizes.customers));
+    // The order date is a timekey; month and year derive from it through
+    // the time dimension's hierarchy.
+    const uint32_t timekey =
+        static_cast<uint32_t>(1 + rng_.Uniform(kNumTimekeys));
+    year_ = Generator::YearOfTime(timekey);
+    month_ = Generator::MonthOfTime(timekey);
+    lines_in_order_ = 1 + SplitMix64(gen_->options().seed + order_index) % 7;
+    line_ = 0;
+  }
+
+  void EmitLine() {
+    const TpcdSizes& sizes = gen_->sizes();
+    const Coord partkey = static_cast<Coord>(1 + rng_.Uniform(sizes.parts));
+    const uint32_t s = std::max<uint32_t>(sizes.suppliers, 4);
+    const uint64_t j = rng_.Uniform(4);
+    const Coord suppkey = static_cast<Coord>(
+        ((partkey + j * (s / 4)) % sizes.suppliers) + 1);
+    tuple_.attr_values[kPartkey] = partkey;
+    tuple_.attr_values[kSuppkey] = suppkey;
+    tuple_.attr_values[kCustkey] = custkey_;
+    if (extended_) {
+      tuple_.attr_values[kBrand] = gen_->BrandOfPart(partkey);
+      tuple_.attr_values[kType] = gen_->TypeOfPart(partkey);
+      tuple_.attr_values[kYear] = year_;
+      tuple_.attr_values[kMonth] = month_;
+    }
+    tuple_.measure = static_cast<int64_t>(1 + rng_.Uniform(50));
+  }
+
+  const Generator* gen_;
+  uint64_t order_;
+  uint64_t end_;
+  bool extended_;
+  Rng rng_;
+  Coord custkey_ = 0;
+  Coord year_ = 0;
+  Coord month_ = 0;
+  uint64_t lines_in_order_ = 0;
+  uint64_t line_ = 0;
+  FactTuple tuple_;
+};
+
+class OrderRangeFactProvider : public FactProvider {
+ public:
+  OrderRangeFactProvider(const Generator* gen, uint64_t begin, uint64_t end,
+                         bool extended)
+      : gen_(gen), begin_(begin), end_(end), extended_(extended) {}
+
+  Result<std::unique_ptr<FactSource>> Open() override {
+    return std::unique_ptr<FactSource>(
+        new OrderRangeFactSource(gen_, begin_, end_, extended_));
+  }
+
+ private:
+  const Generator* gen_;
+  uint64_t begin_;
+  uint64_t end_;
+  bool extended_;
+};
+
+}  // namespace
+
+Generator::Generator(TpcdOptions options) : options_(options) {
+  const double sf = std::max(options.scale_factor, 1e-5);
+  sizes_.parts = std::max<uint32_t>(1, static_cast<uint32_t>(200000 * sf));
+  sizes_.suppliers = std::max<uint32_t>(4, static_cast<uint32_t>(10000 * sf));
+  sizes_.customers =
+      std::max<uint32_t>(1, static_cast<uint32_t>(150000 * sf));
+  sizes_.orders = std::max<uint32_t>(1, static_cast<uint32_t>(1500000 * sf));
+}
+
+CubeSchema Generator::MakeBaseSchema() const {
+  CubeSchema schema;
+  schema.attr_names = {"partkey", "suppkey", "custkey"};
+  schema.attr_domains = {sizes_.parts, sizes_.suppliers, sizes_.customers};
+  schema.measure_name = "quantity";
+  return schema;
+}
+
+CubeSchema Generator::MakeExtendedSchema() const {
+  CubeSchema schema;
+  schema.attr_names = {"partkey", "suppkey", "custkey", "brand",
+                       "type",    "year",    "month"};
+  schema.attr_domains = {sizes_.parts, sizes_.suppliers, sizes_.customers,
+                         25,           150,              7,
+                         12};
+  schema.measure_name = "quantity";
+  return schema;
+}
+
+std::unique_ptr<FactProvider> Generator::BaseFacts(bool extended_attrs) const {
+  return std::make_unique<OrderRangeFactProvider>(this, 0, sizes_.orders,
+                                                  extended_attrs);
+}
+
+std::unique_ptr<FactProvider> Generator::IncrementFacts(
+    double fraction, uint32_t increment_number, bool extended_attrs) const {
+  const uint64_t span = std::max<uint64_t>(
+      1, static_cast<uint64_t>(sizes_.orders * fraction));
+  const uint64_t begin = sizes_.orders + increment_number * span;
+  return std::make_unique<OrderRangeFactProvider>(this, begin, begin + span,
+                                                  extended_attrs);
+}
+
+std::unique_ptr<FactProvider> Generator::FactsThroughIncrement(
+    double fraction, uint32_t increments, bool extended_attrs) const {
+  const uint64_t span = std::max<uint64_t>(
+      1, static_cast<uint64_t>(sizes_.orders * fraction));
+  const uint64_t end = sizes_.orders + increments * span;
+  return std::make_unique<OrderRangeFactProvider>(this, 0, end,
+                                                  extended_attrs);
+}
+
+uint64_t Generator::LineitemsOfOrder(uint64_t order_index) const {
+  return 1 + SplitMix64(options_.seed + order_index) % 7;
+}
+
+uint64_t Generator::NumBaseLineitems() const {
+  uint64_t total = 0;
+  for (uint64_t o = 0; o < sizes_.orders; ++o) total += LineitemsOfOrder(o);
+  return total;
+}
+
+uint64_t Generator::NumIncrementLineitems(double fraction,
+                                          uint32_t increment_number) const {
+  const uint64_t span = std::max<uint64_t>(
+      1, static_cast<uint64_t>(sizes_.orders * fraction));
+  const uint64_t begin = sizes_.orders + increment_number * span;
+  uint64_t total = 0;
+  for (uint64_t o = begin; o < begin + span; ++o) {
+    total += LineitemsOfOrder(o);
+  }
+  return total;
+}
+
+PartRow Generator::MakePart(uint32_t partkey) const {
+  PartRow row;
+  row.partkey = partkey;
+  row.name = SyntheticText("Part", partkey);
+  row.brand = BrandOfPart(partkey);
+  row.type = TypeOfPart(partkey);
+  const uint64_t h = SplitMix64(options_.seed * 3 + partkey);
+  row.size = static_cast<uint32_t>(1 + h % 50);
+  row.container = kContainers[(h >> 16) % 8];
+  return row;
+}
+
+SupplierRow Generator::MakeSupplier(uint32_t suppkey) const {
+  SupplierRow row;
+  row.suppkey = suppkey;
+  row.name = SyntheticText("Supplier", suppkey);
+  const uint64_t h = SplitMix64(options_.seed * 5 + suppkey);
+  row.address = SyntheticText("Addr", static_cast<uint32_t>(h % 1000000));
+  row.phone = SyntheticPhone(h);
+  return row;
+}
+
+CustomerRow Generator::MakeCustomer(uint32_t custkey) const {
+  CustomerRow row;
+  row.custkey = custkey;
+  row.name = SyntheticText("Customer", custkey);
+  const uint64_t h = SplitMix64(options_.seed * 7 + custkey);
+  row.address = SyntheticText("Addr", static_cast<uint32_t>(h % 1000000));
+  row.phone = SyntheticPhone(h);
+  return row;
+}
+
+TimeRow Generator::MakeTime(uint32_t timekey) {
+  TimeRow row;
+  row.timekey = timekey;
+  const uint32_t ordinal = timekey - 1;  // 0-based day index.
+  row.day = ordinal % kDaysPerMonth + 1;
+  row.month = (ordinal / kDaysPerMonth) % kMonthsPerYear + 1;
+  row.year = ordinal / (kDaysPerMonth * kMonthsPerYear) + 1;
+  return row;
+}
+
+uint32_t Generator::BrandOfPart(uint32_t partkey) const {
+  return static_cast<uint32_t>(
+      1 + SplitMix64(options_.seed * 11 + partkey) % 25);
+}
+
+uint32_t Generator::TypeOfPart(uint32_t partkey) const {
+  return static_cast<uint32_t>(
+      1 + SplitMix64(options_.seed * 13 + partkey) % 150);
+}
+
+}  // namespace tpcd
+}  // namespace cubetree

@@ -1,0 +1,155 @@
+#ifndef CUBETREE_TPCD_DBGEN_H_
+#define CUBETREE_TPCD_DBGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "cubetree/view_def.h"
+#include "olap/cube_builder.h"
+
+namespace cubetree {
+namespace tpcd {
+
+/// Generator parameters. scale_factor = 1.0 reproduces the paper's 1 GB
+/// experiment (~6M fact rows); benchmarks default to a fraction of that so
+/// the suite completes in minutes on one core.
+struct TpcdOptions {
+  double scale_factor = 0.05;
+  uint64_t seed = 19980601;  // SIGMOD '98.
+};
+
+/// Table cardinalities at a given scale factor, per the TPC-D ratios.
+struct TpcdSizes {
+  uint32_t parts = 0;      // 200,000 x SF
+  uint32_t suppliers = 0;  // 10,000 x SF
+  uint32_t customers = 0;  // 150,000 x SF
+  uint32_t orders = 0;     // 1,500,000 x SF; 1..7 lineitems each (avg 4)
+};
+
+/// Dimension rows (generated deterministically from the key), used to load
+/// the dimension heap tables and to resolve hierarchy attributes.
+struct PartRow {
+  uint32_t partkey = 0;
+  std::string name;
+  uint32_t brand = 0;  // 1..25  (part.brand hierarchy level)
+  uint32_t type = 0;   // 1..150 (part.type hierarchy level)
+  uint32_t size = 0;
+  std::string container;
+};
+
+struct SupplierRow {
+  uint32_t suppkey = 0;
+  std::string name;
+  std::string address;
+  std::string phone;
+};
+
+struct CustomerRow {
+  uint32_t custkey = 0;
+  std::string name;
+  std::string address;
+  std::string phone;
+};
+
+/// The time dimension (the day -> month -> year hierarchy of Section 2.1).
+/// The warehouse spans 7 synthetic years of 360 days (12 months x 30
+/// days); every order date is a timekey into this dimension, so month and
+/// year are functionally determined by it.
+struct TimeRow {
+  uint32_t timekey = 0;  // 1..kNumTimekeys
+  uint32_t day = 0;      // 1..30 within the month
+  uint32_t month = 0;    // 1..12
+  uint32_t year = 0;     // 1..7
+};
+
+inline constexpr uint32_t kDaysPerMonth = 30;
+inline constexpr uint32_t kMonthsPerYear = 12;
+inline constexpr uint32_t kNumYears = 7;
+inline constexpr uint32_t kNumTimekeys =
+    kDaysPerMonth * kMonthsPerYear * kNumYears;
+
+/// Grouping-attribute indices of the base (evaluation) schema.
+enum BaseAttr : uint32_t {
+  kPartkey = 0,
+  kSuppkey = 1,
+  kCustkey = 2,
+};
+
+/// Extra attributes of the extended schema (Section 2.4 example: part and
+/// time hierarchies).
+enum ExtendedAttr : uint32_t {
+  kBrand = 3,
+  kType = 4,
+  kYear = 5,   // 1..7 (1992..1998)
+  kMonth = 6,  // 1..12
+};
+
+/// DBGEN-equivalent workload generator. Facts are produced by streaming,
+/// deterministic per-order generation: order o has a seeded RNG, a uniform
+/// custkey, an order date, and 1..7 lineitems whose partkeys are uniform
+/// and whose suppkey follows the TPC-D partkey->supplier association
+/// (supplier j of part p is (p + j*(S/4)) mod S + 1). quantity is uniform
+/// 1..50. An increment re-opens the stream over a fresh range of orders —
+/// the paper's 10% refresh set.
+class Generator {
+ public:
+  explicit Generator(TpcdOptions options);
+
+  const TpcdOptions& options() const { return options_; }
+  const TpcdSizes& sizes() const { return sizes_; }
+
+  /// The paper's evaluation schema: {partkey, suppkey, custkey}.
+  CubeSchema MakeBaseSchema() const;
+
+  /// The Section 2.4 schema with hierarchy attributes.
+  CubeSchema MakeExtendedSchema() const;
+
+  /// Fact provider over the base order range [0, orders).
+  std::unique_ptr<FactProvider> BaseFacts(bool extended_attrs = false) const;
+
+  /// Fact provider over an increment of `fraction` x orders fresh orders
+  /// (increment 0, 1, ... give disjoint ranges).
+  std::unique_ptr<FactProvider> IncrementFacts(
+      double fraction, uint32_t increment_number = 0,
+      bool extended_attrs = false) const;
+
+  /// Fact provider over the base orders plus the first `increments`
+  /// increments — the input of a recompute-from-scratch refresh.
+  std::unique_ptr<FactProvider> FactsThroughIncrement(
+      double fraction, uint32_t increments,
+      bool extended_attrs = false) const;
+
+  /// Exact lineitem counts (computed from the deterministic stream shape).
+  uint64_t NumBaseLineitems() const;
+  uint64_t NumIncrementLineitems(double fraction,
+                                 uint32_t increment_number = 0) const;
+
+  /// Deterministic dimension rows.
+  PartRow MakePart(uint32_t partkey) const;
+  SupplierRow MakeSupplier(uint32_t suppkey) const;
+  CustomerRow MakeCustomer(uint32_t custkey) const;
+  static TimeRow MakeTime(uint32_t timekey);
+
+  /// Hierarchy attribute resolution (used for extended-schema facts).
+  uint32_t BrandOfPart(uint32_t partkey) const;
+  uint32_t TypeOfPart(uint32_t partkey) const;
+  static uint32_t MonthOfTime(uint32_t timekey) {
+    return MakeTime(timekey).month;
+  }
+  static uint32_t YearOfTime(uint32_t timekey) {
+    return MakeTime(timekey).year;
+  }
+
+ private:
+  uint64_t LineitemsOfOrder(uint64_t order_index) const;
+
+  TpcdOptions options_;
+  TpcdSizes sizes_;
+};
+
+}  // namespace tpcd
+}  // namespace cubetree
+
+#endif  // CUBETREE_TPCD_DBGEN_H_

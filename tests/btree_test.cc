@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/coding.h"
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTestDir("btree");
+    pool_ = std::make_unique<BufferPool>(64);
+  }
+
+  std::unique_ptr<BPlusTree> MakeTree(uint8_t key_parts,
+                                      uint32_t value_size = 8) {
+    BTreeOptions options;
+    options.key_parts = key_parts;
+    options.value_size = value_size;
+    auto result = BPlusTree::Create(
+        dir_ + "/t" + std::to_string(++count_) + ".idx", options,
+        pool_.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::string dir_;
+  std::unique_ptr<BufferPool> pool_;
+  int count_ = 0;
+};
+
+TEST_F(BTreeTest, InsertLookupSingleKey) {
+  auto tree = MakeTree(1);
+  uint32_t key[1] = {42};
+  char value[8];
+  EncodeFixed64(value, 4242);
+  ASSERT_OK(tree->Insert(key, value));
+
+  char out[8];
+  ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(DecodeFixed64(out), 4242u);
+
+  uint32_t missing[1] = {43};
+  ASSERT_OK_AND_ASSIGN(found, tree->Lookup(missing, out));
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  auto tree = MakeTree(1);
+  uint32_t key[1] = {7};
+  char value[8] = {0};
+  ASSERT_OK(tree->Insert(key, value));
+  EXPECT_EQ(tree->Insert(key, value).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree->num_entries(), 1u);
+}
+
+TEST_F(BTreeTest, UpdateExistingValue) {
+  auto tree = MakeTree(2);
+  uint32_t key[2] = {1, 2};
+  char value[8];
+  EncodeFixed64(value, 10);
+  ASSERT_OK(tree->Insert(key, value));
+  EncodeFixed64(value, 20);
+  ASSERT_OK(tree->Update(key, value));
+  char out[8];
+  ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+  ASSERT_TRUE(found);
+  EXPECT_EQ(DecodeFixed64(out), 20u);
+
+  uint32_t missing[2] = {9, 9};
+  EXPECT_TRUE(tree->Update(missing, value).IsNotFound());
+}
+
+TEST_F(BTreeTest, ManyRandomInsertsSplitsAndHeightGrowth) {
+  auto tree = MakeTree(1);
+  Rng rng(3);
+  std::map<uint32_t, uint64_t> reference;
+  char value[8];
+  while (reference.size() < 20000) {
+    const uint32_t k = static_cast<uint32_t>(rng.Uniform(1u << 30));
+    if (reference.count(k)) continue;
+    reference[k] = k * 3ull;
+    uint32_t key[1] = {k};
+    EncodeFixed64(value, k * 3ull);
+    ASSERT_OK(tree->Insert(key, value));
+  }
+  EXPECT_EQ(tree->num_entries(), 20000u);
+  EXPECT_GE(tree->height(), 2u);
+
+  // Spot-check lookups.
+  char out[8];
+  int i = 0;
+  for (const auto& [k, v] : reference) {
+    if (++i % 37 != 0) continue;
+    uint32_t key[1] = {k};
+    ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+    ASSERT_TRUE(found) << k;
+    ASSERT_EQ(DecodeFixed64(out), v);
+  }
+
+  // Full scan returns everything in order.
+  uint32_t low[1] = {0}, high[1] = {0xFFFFFFFFu};
+  BPlusTree::Iterator it = tree->Scan(low, high);
+  auto expect = reference.begin();
+  while (true) {
+    const uint32_t* key = nullptr;
+    const char* val = nullptr;
+    ASSERT_OK(it.Next(&key, &val));
+    if (key == nullptr) break;
+    ASSERT_NE(expect, reference.end());
+    ASSERT_EQ(key[0], expect->first);
+    ASSERT_EQ(DecodeFixed64(val), expect->second);
+    ++expect;
+  }
+  EXPECT_EQ(expect, reference.end());
+}
+
+TEST_F(BTreeTest, CompositeKeyLexicographicOrder) {
+  auto tree = MakeTree(3);
+  char value[8] = {0};
+  // Insert in shuffled order.
+  std::vector<std::array<uint32_t, 3>> keys;
+  for (uint32_t a = 1; a <= 5; ++a) {
+    for (uint32_t b = 1; b <= 5; ++b) {
+      for (uint32_t c = 1; c <= 5; ++c) keys.push_back({a, b, c});
+    }
+  }
+  Rng rng(4);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  }
+  for (const auto& k : keys) {
+    ASSERT_OK(tree->Insert(k.data(), value));
+  }
+  // Scan a composite prefix: a=3 -> exactly 25 entries, ordered by (b,c).
+  uint32_t low[3] = {3, 0, 0}, high[3] = {3, 0xFFFFFFFFu, 0xFFFFFFFFu};
+  BPlusTree::Iterator it = tree->Scan(low, high);
+  uint32_t expected_b = 1, expected_c = 1;
+  int n = 0;
+  while (true) {
+    const uint32_t* key = nullptr;
+    const char* val = nullptr;
+    ASSERT_OK(it.Next(&key, &val));
+    if (key == nullptr) break;
+    EXPECT_EQ(key[0], 3u);
+    EXPECT_EQ(key[1], expected_b);
+    EXPECT_EQ(key[2], expected_c);
+    if (++expected_c > 5) {
+      expected_c = 1;
+      ++expected_b;
+    }
+    ++n;
+  }
+  EXPECT_EQ(n, 25);
+}
+
+TEST_F(BTreeTest, RangeScanBounds) {
+  auto tree = MakeTree(1);
+  char value[8] = {0};
+  for (uint32_t k = 10; k <= 100; k += 10) {
+    uint32_t key[1] = {k};
+    ASSERT_OK(tree->Insert(key, value));
+  }
+  uint32_t low[1] = {25}, high[1] = {75};
+  BPlusTree::Iterator it = tree->Scan(low, high);
+  std::vector<uint32_t> seen;
+  while (true) {
+    const uint32_t* key = nullptr;
+    const char* val = nullptr;
+    ASSERT_OK(it.Next(&key, &val));
+    if (key == nullptr) break;
+    seen.push_back(key[0]);
+  }
+  EXPECT_EQ(seen, (std::vector<uint32_t>{30, 40, 50, 60, 70}));
+}
+
+TEST_F(BTreeTest, EmptyTreeScanAndLookup) {
+  auto tree = MakeTree(1);
+  uint32_t key[1] = {5};
+  char out[8];
+  ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+  EXPECT_FALSE(found);
+  uint32_t low[1] = {0}, high[1] = {0xFFFFFFFFu};
+  BPlusTree::Iterator it = tree->Scan(low, high);
+  const uint32_t* k = nullptr;
+  const char* v = nullptr;
+  ASSERT_OK(it.Next(&k, &v));
+  EXPECT_EQ(k, nullptr);
+}
+
+class VectorEntrySource : public BPlusTree::EntrySource {
+ public:
+  VectorEntrySource(const std::vector<std::pair<uint32_t, uint64_t>>* entries)
+      : entries_(entries) {}
+
+  Status Next(const uint32_t** key, const char** value) override {
+    if (pos_ >= entries_->size()) {
+      *key = nullptr;
+      *value = nullptr;
+      return Status::OK();
+    }
+    key_[0] = (*entries_)[pos_].first;
+    EncodeFixed64(value_, (*entries_)[pos_].second);
+    ++pos_;
+    *key = key_;
+    *value = value_;
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<std::pair<uint32_t, uint64_t>>* entries_;
+  size_t pos_ = 0;
+  uint32_t key_[1];
+  char value_[8];
+};
+
+TEST_F(BTreeTest, BulkBuildMatchesInserts) {
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    entries.push_back({i * 2 + 1, i * 7ull});
+  }
+  auto tree = MakeTree(1);
+  VectorEntrySource source(&entries);
+  ASSERT_OK(tree->BulkBuild(&source));
+  EXPECT_EQ(tree->num_entries(), entries.size());
+  EXPECT_GE(tree->height(), 2u);
+
+  char out[8];
+  for (uint32_t i = 0; i < 50000; i += 997) {
+    uint32_t key[1] = {i * 2 + 1};
+    ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+    ASSERT_TRUE(found) << i;
+    ASSERT_EQ(DecodeFixed64(out), i * 7ull);
+  }
+  // Absent (even) keys miss.
+  uint32_t even[1] = {40};
+  ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(even, out));
+  EXPECT_FALSE(found);
+
+  // Ordered scan of a sub-range.
+  uint32_t low[1] = {1001}, high[1] = {1101};
+  BPlusTree::Iterator it = tree->Scan(low, high);
+  uint32_t expected = 1001;
+  while (true) {
+    const uint32_t* key = nullptr;
+    const char* val = nullptr;
+    ASSERT_OK(it.Next(&key, &val));
+    if (key == nullptr) break;
+    ASSERT_EQ(key[0], expected);
+    expected += 2;
+  }
+  EXPECT_EQ(expected, 1103u);
+}
+
+TEST_F(BTreeTest, BulkBuildThenInsertMore) {
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  for (uint32_t i = 1; i <= 1000; ++i) entries.push_back({i * 3, i});
+  auto tree = MakeTree(1);
+  VectorEntrySource source(&entries);
+  ASSERT_OK(tree->BulkBuild(&source));
+  // Packed leaves must still absorb subsequent inserts via splits.
+  char value[8] = {0};
+  for (uint32_t i = 1; i <= 1000; ++i) {
+    uint32_t key[1] = {i * 3 + 1};
+    ASSERT_OK(tree->Insert(key, value));
+  }
+  EXPECT_EQ(tree->num_entries(), 2000u);
+  char out[8];
+  for (uint32_t i = 1; i <= 1000; i += 111) {
+    uint32_t key[1] = {i * 3};
+    ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+    EXPECT_TRUE(found);
+    uint32_t key2[1] = {i * 3 + 1};
+    ASSERT_OK_AND_ASSIGN(found, tree->Lookup(key2, out));
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(BTreeTest, BulkBuildEmptySource) {
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  auto tree = MakeTree(1);
+  VectorEntrySource source(&entries);
+  ASSERT_OK(tree->BulkBuild(&source));
+  EXPECT_EQ(tree->num_entries(), 0u);
+}
+
+TEST_F(BTreeTest, BulkBuildOnNonEmptyTreeFails) {
+  auto tree = MakeTree(1);
+  uint32_t key[1] = {1};
+  char value[8] = {0};
+  ASSERT_OK(tree->Insert(key, value));
+  std::vector<std::pair<uint32_t, uint64_t>> entries = {{5, 5}};
+  VectorEntrySource source(&entries);
+  EXPECT_FALSE(tree->BulkBuild(&source).ok());
+}
+
+TEST_F(BTreeTest, WideValuesSupported) {
+  auto tree = MakeTree(2, 12);  // e.g. sum + count payload.
+  uint32_t key[2] = {3, 4};
+  char value[12];
+  EncodeFixed64(value, 999);
+  EncodeFixed32(value + 8, 5);
+  ASSERT_OK(tree->Insert(key, value));
+  char out[12];
+  ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+  ASSERT_TRUE(found);
+  EXPECT_EQ(DecodeFixed64(out), 999u);
+  EXPECT_EQ(DecodeFixed32(out + 8), 5u);
+}
+
+TEST_F(BTreeTest, SequentialInsertionKeepsWorking) {
+  auto tree = MakeTree(1);
+  char value[8] = {0};
+  for (uint32_t i = 1; i <= 30000; ++i) {
+    uint32_t key[1] = {i};
+    ASSERT_OK(tree->Insert(key, value));
+  }
+  EXPECT_EQ(tree->num_entries(), 30000u);
+  char out[8];
+  for (uint32_t i = 1; i <= 30000; i += 1777) {
+    uint32_t key[1] = {i};
+    ASSERT_OK_AND_ASSIGN(bool found, tree->Lookup(key, out));
+    ASSERT_TRUE(found) << i;
+  }
+}
+
+TEST_F(BTreeTest, KeyPartsValidation) {
+  BTreeOptions options;
+  options.key_parts = 0;
+  EXPECT_FALSE(BPlusTree::Create(dir_ + "/bad.idx", options, pool_.get())
+                   .ok());
+  options.key_parts = kMaxBTreeKeyParts + 1;
+  EXPECT_FALSE(BPlusTree::Create(dir_ + "/bad2.idx", options, pool_.get())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CodePredicates) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    CT_RETURN_NOT_OK(Status::IOError("disk died"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIOError());
+  auto succeeds = []() -> Status {
+    CT_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    CT_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_FALSE(outer(true).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  char buf[4];
+  for (uint32_t v : {0u, 1u, 0x12345678u, 0xFFFFFFFFu}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32IsLittleEndianOnDisk) {
+  char buf[4];
+  EncodeFixed32(buf, 0x04030201u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x04);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  char buf[8];
+  for (uint64_t v : {0ull, 1ull, 0x123456789ABCDEF0ull, ~0ull}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, PutFixedAppends) {
+  std::string s;
+  PutFixed32(&s, 7);
+  PutFixed64(&s, 9);
+  ASSERT_EQ(s.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(s.data()), 7u);
+  EXPECT_EQ(DecodeFixed64(s.data() + 4), 9u);
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::vector<uint32_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  0x0FFFFFFF, 0xFFFFFFFF};
+  std::string buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  for (uint32_t expected : values) {
+    uint32_t v = 0;
+    p = GetVarint32(p, limit, &v);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 1ull << 40, ~0ull};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    p = GetVarint64(p, limit, &v);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, VarintTruncatedInputReturnsNull) {
+  std::string buf;
+  PutVarint32(&buf, 0xFFFFFFFF);  // 5 bytes.
+  uint32_t v;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + 2, &v), nullptr);
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint32_t v : {0u, 127u, 128u, 16384u, 0xFFFFFFFFu}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(VarintLength32(v), buf.size());
+  }
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  const std::vector<int64_t> values = {
+      0, 1, -1, 1234567, -1234567, std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+  // Small magnitudes encode small.
+  EXPECT_LT(ZigZagEncode64(-3), 10u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformRange(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformCoversDomain) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(LoggingTest, RespectsLevel) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CT_LOG(Info) << "should be suppressed";
+  SetLogLevel(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cubetree

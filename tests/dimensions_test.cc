@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "engine/dimensions.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+class DimensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTestDir("dims");
+    tpcd::TpcdOptions options;
+    options.scale_factor = 0.001;
+    generator_ = std::make_unique<tpcd::Generator>(options);
+    pool_ = std::make_unique<BufferPool>(256);
+    auto result = DimensionTables::Load(dir_, *generator_, pool_.get());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    tables_ = std::move(result).value();
+  }
+
+  std::string dir_;
+  std::unique_ptr<tpcd::Generator> generator_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<DimensionTables> tables_;
+};
+
+TEST_F(DimensionsTest, RowCountsMatchGenerator) {
+  EXPECT_EQ(tables_->part_table()->num_rows(), generator_->sizes().parts);
+  EXPECT_EQ(tables_->supplier_table()->num_rows(),
+            generator_->sizes().suppliers);
+  EXPECT_EQ(tables_->customer_table()->num_rows(),
+            generator_->sizes().customers);
+  EXPECT_GT(tables_->TotalBytes(), 0u);
+}
+
+TEST_F(DimensionsTest, LookupsMatchGeneratorRows) {
+  for (uint32_t key : {1u, 2u, generator_->sizes().parts / 2,
+                       generator_->sizes().parts}) {
+    ASSERT_OK_AND_ASSIGN(tpcd::PartRow row, tables_->GetPart(key));
+    const tpcd::PartRow expected = generator_->MakePart(key);
+    EXPECT_EQ(row.partkey, key);
+    EXPECT_EQ(row.name, expected.name);
+    EXPECT_EQ(row.brand, expected.brand);
+    EXPECT_EQ(row.type, expected.type);
+    EXPECT_EQ(row.container, expected.container);
+  }
+  ASSERT_OK_AND_ASSIGN(tpcd::SupplierRow supplier, tables_->GetSupplier(3));
+  EXPECT_EQ(supplier.phone, generator_->MakeSupplier(3).phone);
+  ASSERT_OK_AND_ASSIGN(tpcd::CustomerRow customer, tables_->GetCustomer(9));
+  EXPECT_EQ(customer.name, generator_->MakeCustomer(9).name);
+}
+
+TEST_F(DimensionsTest, OutOfRangeKeysFail) {
+  EXPECT_TRUE(tables_->GetPart(0).status().IsNotFound());
+  EXPECT_TRUE(
+      tables_->GetPart(generator_->sizes().parts + 1).status().IsNotFound());
+  EXPECT_TRUE(tables_->GetCustomer(0).status().IsNotFound());
+}
+
+TEST_F(DimensionsTest, TimeHierarchyConsistent) {
+  EXPECT_EQ(tables_->time_table()->num_rows(), tpcd::kNumTimekeys);
+  ASSERT_OK_AND_ASSIGN(tpcd::TimeRow first, tables_->GetTime(1));
+  EXPECT_EQ(first.day, 1u);
+  EXPECT_EQ(first.month, 1u);
+  EXPECT_EQ(first.year, 1u);
+  ASSERT_OK_AND_ASSIGN(tpcd::TimeRow last,
+                       tables_->GetTime(tpcd::kNumTimekeys));
+  EXPECT_EQ(last.day, tpcd::kDaysPerMonth);
+  EXPECT_EQ(last.month, tpcd::kMonthsPerYear);
+  EXPECT_EQ(last.year, tpcd::kNumYears);
+  // Day 31 of the warehouse = day 1 of month 2.
+  ASSERT_OK_AND_ASSIGN(tpcd::TimeRow rollover,
+                       tables_->GetTime(tpcd::kDaysPerMonth + 1));
+  EXPECT_EQ(rollover.day, 1u);
+  EXPECT_EQ(rollover.month, 2u);
+  // Facts' month/year attributes must be derivable from a timekey.
+  for (uint32_t key : {1u, 359u, 360u, 361u, 2000u}) {
+    const tpcd::TimeRow row = tpcd::Generator::MakeTime(key);
+    EXPECT_EQ(tpcd::Generator::MonthOfTime(key), row.month);
+    EXPECT_EQ(tpcd::Generator::YearOfTime(key), row.year);
+    EXPECT_EQ((row.year - 1) * 360u + (row.month - 1) * 30u + row.day, key);
+  }
+}
+
+TEST_F(DimensionsTest, OrdinalAddressing) {
+  HeapTable* part = tables_->part_table();
+  const uint32_t per_page = part->rows_per_page();
+  EXPECT_GT(per_page, 0u);
+  // Ordinal addressing matches the iterator's RowIds.
+  HeapTable::Iterator it = part->Scan();
+  const char* row = nullptr;
+  uint64_t ordinal = 0;
+  while (true) {
+    ASSERT_OK(it.Next(&row));
+    if (row == nullptr) break;
+    ASSERT_EQ(part->OrdinalToRowId(ordinal), it.current_rid()) << ordinal;
+    ++ordinal;
+  }
+  EXPECT_EQ(ordinal, part->num_rows());
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/rng.h"
+#include "sort/external_sorter.h"
+#include "sort/loser_tree.h"
+#include "sort/spool.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+TEST(LoserTreeTest, SinglePlayer) {
+  LoserTree tree(1, [](size_t, size_t) { return false; });
+  EXPECT_EQ(tree.Winner(), 0u);
+}
+
+TEST(LoserTreeTest, MergesKSortedStreams) {
+  // Each player holds a sorted vector with a cursor.
+  const std::vector<std::vector<int>> streams = {
+      {1, 4, 7, 10}, {2, 5, 8}, {3, 6, 9, 11, 12}, {}, {0}};
+  std::vector<size_t> cursors(streams.size(), 0);
+  auto value = [&](size_t p) {
+    return cursors[p] < streams[p].size()
+               ? streams[p][cursors[p]]
+               : std::numeric_limits<int>::max();
+  };
+  LoserTree tree(streams.size(),
+                 [&](size_t a, size_t b) { return value(a) < value(b); });
+  std::vector<int> merged;
+  while (true) {
+    const size_t w = tree.Winner();
+    if (value(w) == std::numeric_limits<int>::max()) break;
+    merged.push_back(value(w));
+    ++cursors[w];
+    tree.Replay();
+  }
+  const std::vector<int> expected = {0, 1, 2, 3, 4,  5,  6,
+                                     7, 8, 9, 10, 11, 12};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(LoserTreeTest, RandomizedAgainstStdSort) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const size_t k = 1 + rng.Uniform(9);
+    std::vector<std::vector<uint64_t>> streams(k);
+    std::vector<uint64_t> all;
+    for (auto& s : streams) {
+      const size_t n = rng.Uniform(50);
+      for (size_t i = 0; i < n; ++i) s.push_back(rng.Uniform(1000));
+      std::sort(s.begin(), s.end());
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    std::sort(all.begin(), all.end());
+
+    std::vector<size_t> cursors(k, 0);
+    auto done = [&](size_t p) { return cursors[p] >= streams[p].size(); };
+    LoserTree tree(k, [&](size_t a, size_t b) {
+      if (done(a)) return false;
+      if (done(b)) return true;
+      return streams[a][cursors[a]] < streams[b][cursors[b]];
+    });
+    std::vector<uint64_t> merged;
+    while (true) {
+      const size_t w = tree.Winner();
+      if (done(w)) break;
+      merged.push_back(streams[w][cursors[w]]);
+      ++cursors[w];
+      tree.Replay();
+    }
+    ASSERT_EQ(merged, all) << "round " << round << " k=" << k;
+  }
+}
+
+ExternalSorter::Options SmallSorterOptions(const std::string& dir,
+                                           size_t record_size,
+                                           size_t budget) {
+  ExternalSorter::Options options;
+  options.record_size = record_size;
+  options.memory_budget_bytes = budget;
+  options.temp_dir = dir;
+  return options;
+}
+
+RecordComparator U32Less() {
+  return [](const char* a, const char* b) {
+    return DecodeFixed32(a) < DecodeFixed32(b);
+  };
+}
+
+std::vector<uint32_t> DrainU32(RecordStream* stream) {
+  std::vector<uint32_t> out;
+  const char* rec = nullptr;
+  while (true) {
+    Status st = stream->Next(&rec);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    if (rec == nullptr) break;
+    out.push_back(DecodeFixed32(rec));
+  }
+  return out;
+}
+
+TEST(ExternalSorterTest, InMemorySort) {
+  const std::string dir = MakeTestDir("sort_mem");
+  ExternalSorter sorter(SmallSorterOptions(dir, 4, 1 << 20), U32Less());
+  Rng rng(5);
+  std::vector<uint32_t> values;
+  char buf[4];
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(10000));
+    values.push_back(v);
+    EncodeFixed32(buf, v);
+    ASSERT_OK(sorter.Add(buf));
+  }
+  EXPECT_EQ(sorter.num_runs(), 0u);
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(DrainU32(stream.get()), values);
+}
+
+TEST(ExternalSorterTest, SpillsAndMergesRuns) {
+  const std::string dir = MakeTestDir("sort_spill");
+  // Tiny budget: 100 records per run.
+  ExternalSorter sorter(SmallSorterOptions(dir, 4, 400), U32Less());
+  Rng rng(6);
+  std::vector<uint32_t> values;
+  char buf[4];
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 30));
+    values.push_back(v);
+    EncodeFixed32(buf, v);
+    ASSERT_OK(sorter.Add(buf));
+  }
+  EXPECT_GT(sorter.num_runs(), 10u);
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(DrainU32(stream.get()), values);
+}
+
+TEST(ExternalSorterTest, DuplicateKeysSurvive) {
+  const std::string dir = MakeTestDir("sort_dup");
+  ExternalSorter sorter(SmallSorterOptions(dir, 4, 64), U32Less());
+  char buf[4];
+  for (int i = 0; i < 300; ++i) {
+    EncodeFixed32(buf, static_cast<uint32_t>(i % 3));
+    ASSERT_OK(sorter.Add(buf));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::vector<uint32_t> out = DrainU32(stream.get());
+  ASSERT_EQ(out.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(std::count(out.begin(), out.end(), 0u), 100);
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  const std::string dir = MakeTestDir("sort_empty");
+  ExternalSorter sorter(SmallSorterOptions(dir, 8, 1024), U32Less());
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  const char* rec = nullptr;
+  ASSERT_OK(stream->Next(&rec));
+  EXPECT_EQ(rec, nullptr);
+}
+
+TEST(ExternalSorterTest, WideRecordsSortedByPrefixKey) {
+  const std::string dir = MakeTestDir("sort_wide");
+  const size_t record_size = 64;
+  ExternalSorter sorter(SmallSorterOptions(dir, record_size, 1024),
+                        U32Less());
+  std::vector<char> rec(record_size, 0);
+  for (int i = 99; i >= 0; --i) {
+    EncodeFixed32(rec.data(), static_cast<uint32_t>(i));
+    rec[10] = static_cast<char>('A' + (i % 26));  // Payload rides along.
+    ASSERT_OK(sorter.Add(rec.data()));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  const char* out = nullptr;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(stream->Next(&out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(DecodeFixed32(out), static_cast<uint32_t>(i));
+    EXPECT_EQ(out[10], static_cast<char>('A' + (i % 26)));
+  }
+  ASSERT_OK(stream->Next(&out));
+  EXPECT_EQ(out, nullptr);
+}
+
+TEST(ExternalSorterTest, AddAfterFinishFails) {
+  const std::string dir = MakeTestDir("sort_after");
+  ExternalSorter sorter(SmallSorterOptions(dir, 4, 1024), U32Less());
+  char buf[4] = {0};
+  ASSERT_OK(sorter.Add(buf));
+  ASSERT_OK(sorter.Finish().status());
+  EXPECT_FALSE(sorter.Add(buf).ok());
+}
+
+TEST(ExternalSorterTest, RunFileIoIsSequential) {
+  const std::string dir = MakeTestDir("sort_io");
+  auto stats = std::make_shared<IoStats>();
+  ExternalSorter::Options options = SmallSorterOptions(dir, 4, 400);
+  options.io_stats = stats;
+  ExternalSorter sorter(options, U32Less());
+  char buf[4];
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    EncodeFixed32(buf, static_cast<uint32_t>(rng.Next()));
+    ASSERT_OK(sorter.Add(buf));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  DrainU32(stream.get());
+  EXPECT_GT(stats->sequential_writes, 0u);
+  EXPECT_EQ(stats->random_writes, 0u);
+  // Each run is read front to back; only the first page of each run is a
+  // "random" seek.
+  EXPECT_EQ(stats->random_reads, sorter.num_runs());
+}
+
+TEST(ExternalSorterTest, MultiPassMergeWithTinyFanin) {
+  const std::string dir = MakeTestDir("sort_multipass");
+  ExternalSorter::Options options = SmallSorterOptions(dir, 4, 4 * 64);
+  options.max_merge_fanin = 3;  // Forces several intermediate passes.
+  ExternalSorter sorter(options, U32Less());
+  Rng rng(41);
+  std::vector<uint32_t> values;
+  char buf[4];
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 28));
+    values.push_back(v);
+    EncodeFixed32(buf, v);
+    ASSERT_OK(sorter.Add(buf));
+  }
+  // 20000/64 = ~312 raw runs, reduced during Add to stay under 2*fanin.
+  EXPECT_LE(sorter.num_runs(), 6u);
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(DrainU32(stream.get()), values);
+}
+
+TEST(ExternalSorterTest, MultiPassKeepsDuplicatesAndPayloads) {
+  const std::string dir = MakeTestDir("sort_multipass_dup");
+  ExternalSorter::Options options = SmallSorterOptions(dir, 8, 8 * 64);
+  options.max_merge_fanin = 2;
+  ExternalSorter sorter(options, U32Less());
+  char buf[8];
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    EncodeFixed32(buf, static_cast<uint32_t>(i % 100));
+    EncodeFixed32(buf + 4, static_cast<uint32_t>(i));
+    ASSERT_OK(sorter.Add(buf));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  const char* rec = nullptr;
+  int count = 0;
+  uint64_t payload_sum = 0;
+  uint32_t prev = 0;
+  while (true) {
+    ASSERT_OK(stream->Next(&rec));
+    if (rec == nullptr) break;
+    const uint32_t key = DecodeFixed32(rec);
+    ASSERT_GE(key, prev);
+    prev = key;
+    payload_sum += DecodeFixed32(rec + 4);
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(payload_sum, static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(RecordSpoolTest, AppendSealRead) {
+  const std::string dir = MakeTestDir("spool_basic");
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 4));
+  char buf[4];
+  for (uint32_t i = 0; i < 5000; ++i) {
+    EncodeFixed32(buf, i);
+    ASSERT_OK(spool->Append(buf));
+  }
+  ASSERT_OK(spool->Seal());
+  EXPECT_EQ(spool->num_records(), 5000u);
+  ASSERT_OK_AND_ASSIGN(auto reader, spool->NewReader());
+  std::vector<uint32_t> out = DrainU32(reader.get());
+  ASSERT_EQ(out.size(), 5000u);
+  for (uint32_t i = 0; i < 5000; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(RecordSpoolTest, MultipleReaders) {
+  const std::string dir = MakeTestDir("spool_multi");
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 4));
+  char buf[4];
+  for (uint32_t i = 0; i < 10; ++i) {
+    EncodeFixed32(buf, i * 2);
+    ASSERT_OK(spool->Append(buf));
+  }
+  ASSERT_OK(spool->Seal());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_OK_AND_ASSIGN(auto reader, spool->NewReader());
+    EXPECT_EQ(DrainU32(reader.get()).size(), 10u);
+  }
+}
+
+TEST(RecordSpoolTest, ReadBeforeSealFails) {
+  const std::string dir = MakeTestDir("spool_seal");
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 4));
+  EXPECT_FALSE(spool->NewReader().ok());
+}
+
+TEST(RecordSpoolTest, AppendAfterSealFails) {
+  const std::string dir = MakeTestDir("spool_append");
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 4));
+  ASSERT_OK(spool->Seal());
+  char buf[4] = {0};
+  EXPECT_FALSE(spool->Append(buf).ok());
+}
+
+TEST(RecordSpoolTest, EmptySpool) {
+  const std::string dir = MakeTestDir("spool_empty");
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 16));
+  ASSERT_OK(spool->Seal());
+  ASSERT_OK_AND_ASSIGN(auto reader, spool->NewReader());
+  const char* rec = nullptr;
+  ASSERT_OK(reader->Next(&rec));
+  EXPECT_EQ(rec, nullptr);
+}
+
+TEST(RecordSpoolTest, OddRecordSizeCrossingPages) {
+  const std::string dir = MakeTestDir("spool_odd");
+  // 28-byte records: 292 per page with slack.
+  ASSERT_OK_AND_ASSIGN(auto spool, RecordSpool::Create(dir + "/s.spl", 28));
+  std::vector<char> rec(28);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EncodeFixed32(rec.data(), i);
+    EncodeFixed32(rec.data() + 24, i ^ 0xDEAD);
+    ASSERT_OK(spool->Append(rec.data()));
+  }
+  ASSERT_OK(spool->Seal());
+  ASSERT_OK_AND_ASSIGN(auto reader, spool->NewReader());
+  const char* out = nullptr;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(reader->Next(&out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(DecodeFixed32(out), i);
+    EXPECT_EQ(DecodeFixed32(out + 24), i ^ 0xDEAD);
+  }
+}
+
+}  // namespace
+}  // namespace cubetree

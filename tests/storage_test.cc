@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/page_manager.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+TEST(PageManagerTest, CreateAllocateReadWrite) {
+  const std::string dir = MakeTestDir("pm_basic");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  EXPECT_EQ(pm->NumPages(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(PageId id, pm->AllocatePage());
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(pm->NumPages(), 1u);
+
+  Page page;
+  page.Zero();
+  std::strcpy(page.data, "hello cubetree");
+  ASSERT_OK(pm->WritePage(id, page));
+
+  Page read;
+  ASSERT_OK(pm->ReadPage(id, &read));
+  EXPECT_STREQ(read.data, "hello cubetree");
+}
+
+TEST(PageManagerTest, ReadPastEndFails) {
+  const std::string dir = MakeTestDir("pm_oob");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  Page page;
+  EXPECT_TRUE(pm->ReadPage(3, &page).IsInvalidArgument());
+  EXPECT_TRUE(pm->WritePage(0, page).IsInvalidArgument());
+}
+
+TEST(PageManagerTest, ReopenPreservesContents) {
+  const std::string dir = MakeTestDir("pm_reopen");
+  const std::string path = dir + "/f.pg";
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(path));
+    Page page;
+    page.Zero();
+    page.data[0] = 'x';
+    ASSERT_OK(pm->AppendPage(page).status());
+    page.data[0] = 'y';
+    ASSERT_OK(pm->AppendPage(page).status());
+    ASSERT_OK(pm->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Open(path));
+  EXPECT_EQ(pm->NumPages(), 2u);
+  Page page;
+  ASSERT_OK(pm->ReadPage(1, &page));
+  EXPECT_EQ(page.data[0], 'y');
+}
+
+TEST(PageManagerTest, OpenMissingFileFails) {
+  const std::string dir = MakeTestDir("pm_missing");
+  EXPECT_FALSE(PageManager::Open(dir + "/nope.pg").ok());
+}
+
+TEST(PageManagerTest, AppendsCountAsSequentialWrites) {
+  const std::string dir = MakeTestDir("pm_seq");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg", stats));
+  Page page;
+  page.Zero();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(pm->AppendPage(page).status());
+  }
+  EXPECT_EQ(stats->sequential_writes, 10u);
+  EXPECT_EQ(stats->random_writes, 0u);
+}
+
+TEST(PageManagerTest, OutOfOrderWritesCountAsRandom) {
+  const std::string dir = MakeTestDir("pm_rand");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg", stats));
+  Page page;
+  page.Zero();
+  for (int i = 0; i < 4; ++i) ASSERT_OK(pm->AppendPage(page).status());
+  stats->Clear();
+  ASSERT_OK(pm->WritePage(3, page));  // Jump from frontier: random.
+  ASSERT_OK(pm->WritePage(0, page));  // Backwards: random.
+  ASSERT_OK(pm->WritePage(1, page));  // Follows 0: sequential.
+  EXPECT_EQ(stats->random_writes, 2u);
+  EXPECT_EQ(stats->sequential_writes, 1u);
+}
+
+TEST(PageManagerTest, SequentialVsRandomReadsClassified) {
+  const std::string dir = MakeTestDir("pm_reads");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg", stats));
+  Page page;
+  page.Zero();
+  for (int i = 0; i < 8; ++i) ASSERT_OK(pm->AppendPage(page).status());
+  stats->Clear();
+  for (PageId i = 0; i < 8; ++i) ASSERT_OK(pm->ReadPage(i, &page));
+  // First read is "random" (no predecessor), the other 7 sequential.
+  EXPECT_EQ(stats->sequential_reads, 7u);
+  EXPECT_EQ(stats->random_reads, 1u);
+  ASSERT_OK(pm->ReadPage(2, &page));
+  EXPECT_EQ(stats->random_reads, 2u);
+}
+
+TEST(IoStatsTest, ArithmeticAndTotals) {
+  IoStats a{10, 2, 5, 1};
+  IoStats b{1, 1, 1, 1};
+  a += b;
+  EXPECT_EQ(a.sequential_reads, 11u);
+  EXPECT_EQ(a.TotalReads(), 14u);
+  EXPECT_EQ(a.TotalWrites(), 8u);
+  IoStats d = a - b;
+  EXPECT_EQ(d.sequential_reads, 10u);
+  EXPECT_EQ(d.TotalOps(), 18u);
+  EXPECT_EQ(d.TotalBytes(), 18u * kPageSize);
+}
+
+TEST(DiskModelTest, SequentialCheaperThanRandom) {
+  DiskModel disk;
+  IoStats seq{1000, 0, 0, 0};
+  IoStats rnd{0, 1000, 0, 0};
+  EXPECT_LT(disk.ModeledSeconds(seq), disk.ModeledSeconds(rnd));
+  // 1000 random accesses at 10ms seek each dominate.
+  EXPECT_GT(disk.ModeledSeconds(rnd), 10.0);
+  EXPECT_LT(disk.ModeledSeconds(seq), 1.1);
+}
+
+TEST(BufferPoolTest, FetchCachesPages) {
+  const std::string dir = MakeTestDir("bp_cache");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg", stats));
+  BufferPool pool(8);
+  {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.New(pm.get()));
+    h.data()[0] = 'a';
+    h.MarkDirty();
+  }
+  stats->Clear();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.Fetch(pm.get(), 0));
+    EXPECT_EQ(h.data()[0], 'a');
+  }
+  // All hits: no physical reads.
+  EXPECT_EQ(stats->TotalReads(), 0u);
+  EXPECT_EQ(pool.stats().hits, 5u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  const std::string dir = MakeTestDir("bp_evict");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.New(pm.get()));
+    h.data()[0] = static_cast<char>('a' + i);
+    h.MarkDirty();
+  }
+  // Pages 0 and 1 must have been evicted (and written back).
+  ASSERT_OK_AND_ASSIGN(PageHandle h0, pool.Fetch(pm.get(), 0));
+  EXPECT_EQ(h0.data()[0], 'a');
+  ASSERT_OK_AND_ASSIGN(PageHandle h1, pool.Fetch(pm.get(), 1));
+  EXPECT_EQ(h1.data()[0], 'b');
+  EXPECT_GE(pool.stats().evictions, 2u);
+  EXPECT_GE(pool.stats().dirty_writebacks, 2u);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  const std::string dir = MakeTestDir("bp_pin");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(2);
+  ASSERT_OK_AND_ASSIGN(PageHandle a, pool.New(pm.get()));
+  ASSERT_OK_AND_ASSIGN(PageHandle b, pool.New(pm.get()));
+  // Both frames pinned: a third page cannot be brought in.
+  auto r = pool.New(pm.get());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  a.Release();
+  ASSERT_OK(pool.New(pm.get()).status());
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  const std::string dir = MakeTestDir("bp_flush");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(4);
+  {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.New(pm.get()));
+    h.data()[5] = 'z';
+    h.MarkDirty();
+  }
+  ASSERT_OK(pool.FlushAll());
+  Page raw;
+  ASSERT_OK(pm->ReadPage(0, &raw));
+  EXPECT_EQ(raw.data[5], 'z');
+}
+
+TEST(BufferPoolTest, DropFileEvictsAllItsPages) {
+  const std::string dir = MakeTestDir("bp_drop");
+  ASSERT_OK_AND_ASSIGN(auto pm1, PageManager::Create(dir + "/a.pg"));
+  ASSERT_OK_AND_ASSIGN(auto pm2, PageManager::Create(dir + "/b.pg"));
+  BufferPool pool(8);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(pool.New(pm1.get()).status());
+    ASSERT_OK(pool.New(pm2.get()).status());
+  }
+  ASSERT_OK(pool.DropFile(pm1.get()));
+  // pm2's pages still cached; pm1's gone: refetching pm1 pages re-reads.
+  auto stats_before = pool.stats();
+  ASSERT_OK(pool.Fetch(pm1.get(), 0).status());
+  EXPECT_EQ(pool.stats().misses, stats_before.misses + 1);
+  ASSERT_OK(pool.Fetch(pm2.get(), 0).status());
+  EXPECT_EQ(pool.stats().hits, stats_before.hits + 1);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  const std::string dir = MakeTestDir("bp_lru");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(3);
+  for (int i = 0; i < 3; ++i) ASSERT_OK(pool.New(pm.get()).status());
+  // Touch 0 and 2 so page 1 is the LRU victim.
+  ASSERT_OK(pool.Fetch(pm.get(), 0).status());
+  ASSERT_OK(pool.Fetch(pm.get(), 2).status());
+  ASSERT_OK(pool.New(pm.get()).status());  // Evicts page 1.
+  auto before = pool.stats();
+  ASSERT_OK(pool.Fetch(pm.get(), 0).status());
+  ASSERT_OK(pool.Fetch(pm.get(), 2).status());
+  EXPECT_EQ(pool.stats().hits, before.hits + 2);
+  ASSERT_OK(pool.Fetch(pm.get(), 1).status());
+  EXPECT_EQ(pool.stats().misses, before.misses + 1);
+}
+
+TEST(BufferPoolTest, HitRatioComputed) {
+  BufferPoolStats stats;
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.75);
+  stats.Clear();
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "table/heap_table.h"
+#include "table/schema.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+Schema MakeViewSchema() {
+  return Schema({Schema::UInt32("partkey"), Schema::UInt32("suppkey"),
+                 Schema::Int64("sum_quantity"), Schema::UInt32("cnt")});
+}
+
+TEST(SchemaTest, OffsetsAndRowSize) {
+  Schema schema = MakeViewSchema();
+  EXPECT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.column_offset(0), 0u);
+  EXPECT_EQ(schema.column_offset(1), 4u);
+  EXPECT_EQ(schema.column_offset(2), 8u);
+  EXPECT_EQ(schema.column_offset(3), 16u);
+  EXPECT_EQ(schema.row_size(), 20u);
+}
+
+TEST(SchemaTest, CharColumnsWidthCounted) {
+  Schema schema({Schema::UInt32("k"), Schema::Char("name", 25),
+                 Schema::Int64("v")});
+  EXPECT_EQ(schema.row_size(), 4u + 25u + 8u);
+  EXPECT_EQ(schema.column_offset(2), 29u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema = MakeViewSchema();
+  ASSERT_OK_AND_ASSIGN(size_t i, schema.ColumnIndex("sum_quantity"));
+  EXPECT_EQ(i, 2u);
+  EXPECT_FALSE(schema.ColumnIndex("nope").ok());
+}
+
+TEST(SchemaTest, ToStringDescribesColumns) {
+  Schema schema({Schema::UInt32("k"), Schema::Char("c", 7)});
+  EXPECT_EQ(schema.ToString(), "(k uint32, c char(7))");
+}
+
+TEST(RowTest, SetGetRoundTrip) {
+  Schema schema = MakeViewSchema();
+  RowBuffer row(&schema);
+  RowRef ref = row.ref();
+  ref.SetUInt32(0, 123);
+  ref.SetUInt32(1, 456);
+  ref.SetInt64(2, -789);
+  ref.SetUInt32(3, 7);
+  EXPECT_EQ(ref.GetUInt32(0), 123u);
+  EXPECT_EQ(ref.GetUInt32(1), 456u);
+  EXPECT_EQ(ref.GetInt64(2), -789);
+  EXPECT_EQ(ref.GetUInt32(3), 7u);
+}
+
+TEST(RowTest, StringTruncationAndPadding) {
+  Schema schema({Schema::Char("name", 5)});
+  RowBuffer row(&schema);
+  RowRef ref = row.ref();
+  ref.SetString(0, "ab");
+  EXPECT_EQ(ref.GetString(0), "ab");
+  ref.SetString(0, "abcdefgh");
+  EXPECT_EQ(ref.GetString(0), "abcde");
+}
+
+class HeapTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTestDir("heap");
+    schema_ = MakeViewSchema();
+    pool_ = std::make_unique<BufferPool>(16);
+    auto result =
+        HeapTable::Create(dir_ + "/t.tbl", &schema_, pool_.get());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    table_ = std::move(result).value();
+  }
+
+  RowId AppendRow(uint32_t p, uint32_t s, int64_t sum, uint32_t cnt) {
+    RowBuffer row(&schema_);
+    RowRef ref = row.ref();
+    ref.SetUInt32(0, p);
+    ref.SetUInt32(1, s);
+    ref.SetInt64(2, sum);
+    ref.SetUInt32(3, cnt);
+    auto result = table_->Append(row.data());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  std::string dir_;
+  Schema schema_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HeapTable> table_;
+};
+
+TEST_F(HeapTableTest, AppendAndGet) {
+  RowId rid = AppendRow(1, 2, 30, 1);
+  std::vector<char> buf(schema_.row_size());
+  ASSERT_OK(table_->Get(rid, buf.data()));
+  RowRef ref(&schema_, buf.data());
+  EXPECT_EQ(ref.GetUInt32(0), 1u);
+  EXPECT_EQ(ref.GetInt64(2), 30);
+  EXPECT_EQ(table_->num_rows(), 1u);
+}
+
+TEST_F(HeapTableTest, ManyRowsSpanPages) {
+  const int n = 3000;  // > 400 rows/page at 20B rows.
+  for (int i = 0; i < n; ++i) {
+    AppendRow(static_cast<uint32_t>(i), 0, i * 10, 1);
+  }
+  EXPECT_EQ(table_->num_rows(), static_cast<uint64_t>(n));
+  EXPECT_GT(table_->FileSizeBytes(), kPageSize * 5);
+
+  HeapTable::Iterator it = table_->Scan();
+  const char* row = nullptr;
+  int count = 0;
+  while (true) {
+    ASSERT_OK(it.Next(&row));
+    if (row == nullptr) break;
+    RowRef ref(&schema_, const_cast<char*>(row));
+    EXPECT_EQ(ref.GetUInt32(0), static_cast<uint32_t>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST_F(HeapTableTest, UpdateInPlace) {
+  RowId rid = AppendRow(5, 6, 100, 2);
+  AppendRow(7, 8, 200, 3);
+  std::vector<char> buf(schema_.row_size());
+  ASSERT_OK(table_->Get(rid, buf.data()));
+  RowRef ref(&schema_, buf.data());
+  ref.SetInt64(2, 150);
+  ref.SetUInt32(3, 4);
+  ASSERT_OK(table_->Update(rid, buf.data()));
+
+  std::vector<char> buf2(schema_.row_size());
+  ASSERT_OK(table_->Get(rid, buf2.data()));
+  RowRef ref2(&schema_, buf2.data());
+  EXPECT_EQ(ref2.GetInt64(2), 150);
+  EXPECT_EQ(ref2.GetUInt32(3), 4u);
+  EXPECT_EQ(table_->num_rows(), 2u);
+}
+
+TEST_F(HeapTableTest, GetBadSlotFails) {
+  AppendRow(1, 1, 1, 1);
+  std::vector<char> buf(schema_.row_size());
+  EXPECT_FALSE(table_->Get(RowId{0, 99}, buf.data()).ok());
+}
+
+TEST_F(HeapTableTest, ScanEmptyTable) {
+  HeapTable::Iterator it = table_->Scan();
+  const char* row = nullptr;
+  ASSERT_OK(it.Next(&row));
+  EXPECT_EQ(row, nullptr);
+}
+
+TEST_F(HeapTableTest, RowIdEncodeDecode) {
+  RowId rid{12345, 67};
+  EXPECT_EQ(RowId::Decode(rid.Encode()), rid);
+}
+
+TEST_F(HeapTableTest, IteratorReportsRowIds) {
+  std::vector<RowId> rids;
+  for (int i = 0; i < 1000; ++i) {
+    rids.push_back(AppendRow(static_cast<uint32_t>(i), 0, 0, 1));
+  }
+  HeapTable::Iterator it = table_->Scan();
+  const char* row = nullptr;
+  size_t i = 0;
+  while (true) {
+    ASSERT_OK(it.Next(&row));
+    if (row == nullptr) break;
+    ASSERT_LT(i, rids.size());
+    EXPECT_EQ(it.current_rid(), rids[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, rids.size());
+}
+
+TEST_F(HeapTableTest, SurvivesBufferPoolPressure) {
+  // Pool of 16 pages, table of ~25 pages: appends force evictions.
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    AppendRow(static_cast<uint32_t>(i), static_cast<uint32_t>(i * 2), i, 1);
+  }
+  ASSERT_OK(table_->Flush());
+  // Validate every row, including pages that were evicted and re-read.
+  HeapTable::Iterator it = table_->Scan();
+  const char* row = nullptr;
+  int count = 0;
+  while (true) {
+    ASSERT_OK(it.Next(&row));
+    if (row == nullptr) break;
+    RowRef ref(&schema_, const_cast<char*>(row));
+    ASSERT_EQ(ref.GetUInt32(0), static_cast<uint32_t>(count));
+    ASSERT_EQ(ref.GetUInt32(1), static_cast<uint32_t>(count * 2));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,46 @@
+#ifndef CUBETREE_TESTS_TEST_UTIL_H_
+#define CUBETREE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::cubetree::Status _st = (expr);                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::cubetree::Status _st = (expr);                         \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                            \
+  ASSERT_OK_AND_ASSIGN_IMPL(CT_CONCAT_(_r_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)                  \
+  auto tmp = (expr);                                               \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                \
+  lhs = std::move(tmp).value()
+
+/// Per-test scratch directory under the build tree, wiped on creation.
+inline std::string MakeTestDir(const std::string& name) {
+  const std::string dir = "./ct_test_" + name;
+  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
+  if (std::system(cmd.c_str()) != 0) {
+    ADD_FAILURE() << "failed to create test dir " << dir;
+  }
+  return dir;
+}
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "tpcd/dbgen.h"
+
+namespace cubetree {
+namespace {
+
+using tpcd::Generator;
+using tpcd::TpcdOptions;
+
+Generator MakeGen(double sf = 0.01, uint64_t seed = 42) {
+  TpcdOptions options;
+  options.scale_factor = sf;
+  options.seed = seed;
+  return Generator(options);
+}
+
+std::vector<FactTuple> Drain(FactProvider* provider) {
+  std::vector<FactTuple> out;
+  auto source_result = provider->Open();
+  EXPECT_TRUE(source_result.ok());
+  auto source = std::move(source_result).value();
+  const FactTuple* t = nullptr;
+  while (true) {
+    EXPECT_OK(source->Next(&t));
+    if (t == nullptr) break;
+    out.push_back(*t);
+  }
+  return out;
+}
+
+TEST(TpcdTest, SizesFollowScaleFactor) {
+  Generator gen = MakeGen(0.01);
+  EXPECT_EQ(gen.sizes().parts, 2000u);
+  EXPECT_EQ(gen.sizes().suppliers, 100u);
+  EXPECT_EQ(gen.sizes().customers, 1500u);
+  EXPECT_EQ(gen.sizes().orders, 15000u);
+  Generator full = MakeGen(1.0);
+  EXPECT_EQ(full.sizes().parts, 200000u);
+  EXPECT_EQ(full.sizes().orders, 1500000u);
+}
+
+TEST(TpcdTest, BaseFactCountMatchesPredicted) {
+  Generator gen = MakeGen(0.003);
+  auto facts = Drain(gen.BaseFacts().get());
+  EXPECT_EQ(facts.size(), gen.NumBaseLineitems());
+  // Average ~4 lineitems per order.
+  const double avg =
+      static_cast<double>(facts.size()) / gen.sizes().orders;
+  EXPECT_GT(avg, 3.5);
+  EXPECT_LT(avg, 4.5);
+}
+
+TEST(TpcdTest, AttributeDomainsRespected) {
+  Generator gen = MakeGen(0.005);
+  auto facts = Drain(gen.BaseFacts().get());
+  ASSERT_FALSE(facts.empty());
+  for (const FactTuple& t : facts) {
+    ASSERT_GE(t.attr_values[tpcd::kPartkey], 1u);
+    ASSERT_LE(t.attr_values[tpcd::kPartkey], gen.sizes().parts);
+    ASSERT_GE(t.attr_values[tpcd::kSuppkey], 1u);
+    ASSERT_LE(t.attr_values[tpcd::kSuppkey], gen.sizes().suppliers);
+    ASSERT_GE(t.attr_values[tpcd::kCustkey], 1u);
+    ASSERT_LE(t.attr_values[tpcd::kCustkey], gen.sizes().customers);
+    ASSERT_GE(t.measure, 1);
+    ASSERT_LE(t.measure, 50);
+  }
+}
+
+TEST(TpcdTest, DeterministicAcrossOpens) {
+  Generator gen = MakeGen(0.002);
+  auto provider = gen.BaseFacts();
+  auto first = Drain(provider.get());
+  auto second = Drain(provider.get());
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].attr_values[0], second[i].attr_values[0]);
+    ASSERT_EQ(first[i].measure, second[i].measure);
+  }
+}
+
+TEST(TpcdTest, PartSupplierAssociation) {
+  // TPC-D: each part is supplied by exactly 4 suppliers.
+  Generator gen = MakeGen(0.01);
+  auto facts = Drain(gen.BaseFacts().get());
+  std::map<Coord, std::set<Coord>> suppliers_of_part;
+  for (const FactTuple& t : facts) {
+    suppliers_of_part[t.attr_values[tpcd::kPartkey]].insert(
+        t.attr_values[tpcd::kSuppkey]);
+  }
+  size_t checked = 0;
+  for (const auto& [part, set] : suppliers_of_part) {
+    ASSERT_LE(set.size(), 4u) << "part " << part;
+    checked += set.size();
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(TpcdTest, IncrementDisjointFromBaseOrdersAndDeterministic) {
+  Generator gen = MakeGen(0.002);
+  auto inc0a = Drain(gen.IncrementFacts(0.10, 0).get());
+  auto inc0b = Drain(gen.IncrementFacts(0.10, 0).get());
+  ASSERT_EQ(inc0a.size(), inc0b.size());
+  EXPECT_EQ(inc0a.size(), gen.NumIncrementLineitems(0.10, 0));
+  // ~10% of the base volume.
+  const double frac = static_cast<double>(inc0a.size()) /
+                      static_cast<double>(gen.NumBaseLineitems());
+  EXPECT_GT(frac, 0.06);
+  EXPECT_LT(frac, 0.14);
+  // Different increments differ.
+  auto inc1 = Drain(gen.IncrementFacts(0.10, 1).get());
+  bool same = inc0a.size() == inc1.size();
+  if (same) {
+    same = inc0a[0].attr_values[0] == inc1[0].attr_values[0] &&
+           inc0a[0].measure == inc1[0].measure;
+  }
+  EXPECT_FALSE(same && inc0a.size() > 2);
+}
+
+TEST(TpcdTest, FactsThroughIncrementIsBasePlusIncrements) {
+  Generator gen = MakeGen(0.001);
+  auto base = Drain(gen.BaseFacts().get());
+  auto inc0 = Drain(gen.IncrementFacts(0.10, 0).get());
+  auto all = Drain(gen.FactsThroughIncrement(0.10, 1).get());
+  EXPECT_EQ(all.size(), base.size() + inc0.size());
+  // Prefix equals base.
+  for (size_t i = 0; i < base.size(); i += 101) {
+    ASSERT_EQ(all[i].attr_values[2], base[i].attr_values[2]);
+  }
+}
+
+TEST(TpcdTest, SchemasDescribeDomains) {
+  Generator gen = MakeGen(0.01);
+  CubeSchema base = gen.MakeBaseSchema();
+  ASSERT_EQ(base.num_attrs(), 3u);
+  EXPECT_EQ(base.attr_names[0], "partkey");
+  EXPECT_EQ(base.attr_domains[2], gen.sizes().customers);
+  CubeSchema ext = gen.MakeExtendedSchema();
+  ASSERT_EQ(ext.num_attrs(), 7u);
+  EXPECT_EQ(ext.attr_names[tpcd::kBrand], "brand");
+  EXPECT_EQ(ext.attr_domains[tpcd::kBrand], 25u);
+  EXPECT_EQ(ext.attr_domains[tpcd::kYear], 7u);
+}
+
+TEST(TpcdTest, ExtendedAttrsConsistentWithHierarchy) {
+  Generator gen = MakeGen(0.002);
+  auto facts = Drain(gen.BaseFacts(/*extended_attrs=*/true).get());
+  for (const FactTuple& t : facts) {
+    ASSERT_EQ(t.attr_values[tpcd::kBrand],
+              gen.BrandOfPart(t.attr_values[tpcd::kPartkey]));
+    ASSERT_EQ(t.attr_values[tpcd::kType],
+              gen.TypeOfPart(t.attr_values[tpcd::kPartkey]));
+    ASSERT_GE(t.attr_values[tpcd::kYear], 1u);
+    ASSERT_LE(t.attr_values[tpcd::kYear], 7u);
+    ASSERT_GE(t.attr_values[tpcd::kMonth], 1u);
+    ASSERT_LE(t.attr_values[tpcd::kMonth], 12u);
+  }
+}
+
+TEST(TpcdTest, DimensionRowsDeterministicAndShaped) {
+  Generator gen = MakeGen(0.01);
+  auto part = gen.MakePart(123);
+  auto part2 = gen.MakePart(123);
+  EXPECT_EQ(part.name, part2.name);
+  EXPECT_EQ(part.brand, part2.brand);
+  EXPECT_GE(part.brand, 1u);
+  EXPECT_LE(part.brand, 25u);
+  EXPECT_GE(part.type, 1u);
+  EXPECT_LE(part.type, 150u);
+  EXPECT_FALSE(part.container.empty());
+  EXPECT_NE(gen.MakePart(124).name, part.name);
+
+  auto supp = gen.MakeSupplier(9);
+  EXPECT_EQ(supp.suppkey, 9u);
+  EXPECT_FALSE(supp.phone.empty());
+  auto cust = gen.MakeCustomer(77);
+  EXPECT_EQ(cust.custkey, 77u);
+  EXPECT_FALSE(cust.address.empty());
+}
+
+TEST(TpcdTest, SeedChangesData) {
+  Generator a = MakeGen(0.001, 1);
+  Generator b = MakeGen(0.001, 2);
+  auto fa = Drain(a.BaseFacts().get());
+  auto fb = Drain(b.BaseFacts().get());
+  bool differ = fa.size() != fb.size();
+  for (size_t i = 0; !differ && i < std::min(fa.size(), fb.size()); ++i) {
+    differ = fa[i].attr_values[0] != fb[i].attr_values[0] ||
+             fa[i].measure != fb[i].measure;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TpcdTest, CustkeyUniformCoverage) {
+  Generator gen = MakeGen(0.01);
+  auto facts = Drain(gen.BaseFacts().get());
+  std::set<Coord> customers;
+  for (const FactTuple& t : facts) {
+    customers.insert(t.attr_values[tpcd::kCustkey]);
+  }
+  // 60k lineitems over 1500 customers: essentially all appear.
+  EXPECT_GT(customers.size(), gen.sizes().customers * 95 / 100);
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/wal.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+TEST(WalTest, LogsAndForces) {
+  const std::string dir = MakeTestDir("wal_basic");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto wal,
+                       WriteAheadLog::Create(dir + "/w.wal", stats));
+  const std::string record(100, 'x');
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(wal->LogRecord(record.data(), record.size()));
+  }
+  EXPECT_EQ(wal->records(), 10u);
+  EXPECT_EQ(wal->BytesLogged(), 10u * 104);
+  // Nothing hit the disk yet (buffered within one page).
+  EXPECT_EQ(stats->TotalWrites(), 0u);
+  ASSERT_OK(wal->Force());
+  EXPECT_EQ(stats->TotalWrites(), 1u);
+  EXPECT_EQ(stats->sequential_writes, 1u);
+}
+
+TEST(WalTest, SpillsFullPages) {
+  const std::string dir = MakeTestDir("wal_pages");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto wal,
+                       WriteAheadLog::Create(dir + "/w.wal", stats));
+  const std::string record(1000, 'y');
+  // 100 records x 1004 bytes > 12 pages.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(wal->LogRecord(record.data(), record.size()));
+  }
+  EXPECT_GE(stats->sequential_writes, 12u);
+  EXPECT_EQ(stats->random_writes, 0u);
+}
+
+TEST(WalTest, RecordsSpanPageBoundaries) {
+  const std::string dir = MakeTestDir("wal_span");
+  ASSERT_OK_AND_ASSIGN(auto wal, WriteAheadLog::Create(dir + "/w.wal"));
+  // A record larger than a page must be accepted and accounted fully.
+  const std::string big(3 * kPageSize, 'z');
+  ASSERT_OK(wal->LogRecord(big.data(), big.size()));
+  ASSERT_OK(wal->Force());
+  EXPECT_EQ(wal->BytesLogged(), big.size() + 4);
+}
+
+TEST(WalTest, ForceIsIdempotentWhenEmpty) {
+  const std::string dir = MakeTestDir("wal_idem");
+  auto stats = std::make_shared<IoStats>();
+  ASSERT_OK_AND_ASSIGN(auto wal,
+                       WriteAheadLog::Create(dir + "/w.wal", stats));
+  ASSERT_OK(wal->Force());
+  ASSERT_OK(wal->Force());
+  EXPECT_EQ(stats->TotalWrites(), 0u);
+}
+
+}  // namespace
+}  // namespace cubetree
