@@ -1,130 +1,208 @@
-// ctfsck: offline consistency checker for Cubetree files and forests.
-// Given a .ctr file it validates one packed tree; given a forest manifest
-// directory+name it opens the whole forest and validates every tree
-// (internal MBR containment, global pack order, single-view leaves,
-// point-count agreement with the metadata).
+// ctfsck: offline consistency checker for Cubetree stores, built on the
+// src/check invariant-checker framework. It validates packed R-tree files,
+// whole forests (manifest + SelectMapping + every tree), write-ahead logs
+// and B+-tree index files, and reports every violated invariant it can
+// find instead of stopping at the first.
 //
-// Usage:
-//   ctfsck tree <path/to/file.ctr>
-//   ctfsck forest <dir> <name>
+// Usage: see PrintHelp() below (ctfsck --help).
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "check/checkers.h"
+#include "check/invariant_checker.h"
 #include "cubetree/forest.h"
-#include "rtree/packed_rtree.h"
 #include "storage/buffer_pool.h"
 
 using namespace cubetree;
 
 namespace {
 
-int CheckTree(const char* path) {
-  BufferPool pool(1024);
-  auto tree_result = PackedRTree::Open(path, &pool);
-  if (!tree_result.ok()) {
-    std::fprintf(stderr, "ctfsck: cannot open %s: %s\n", path,
-                 tree_result.status().ToString().c_str());
-    return 2;
-  }
-  auto tree = std::move(tree_result).value();
-  std::printf("%s: dims=%u height=%u points=%llu leaf_pages=%u "
-              "size=%llu bytes\n",
-              path, tree->dims(), tree->height(),
-              static_cast<unsigned long long>(tree->num_points()),
-              tree->num_leaf_pages(),
-              static_cast<unsigned long long>(tree->FileSizeBytes()));
-  Status status = tree->Validate();
-  if (!status.ok()) {
-    std::fprintf(stderr, "ctfsck: INVALID: %s\n",
-                 status.ToString().c_str());
-    return 1;
-  }
-  std::printf("ctfsck: OK\n");
-  return 0;
+// Exit codes (also documented in --help and DESIGN.md).
+constexpr int kExitClean = 0;
+constexpr int kExitErrors = 1;
+constexpr int kExitWarnings = 2;
+constexpr int kExitMissing = 3;
+constexpr int kExitIo = 4;
+constexpr int kExitUsage = 64;
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(
+      out,
+      "ctfsck — offline invariant checker for Cubetree stores\n"
+      "\n"
+      "usage:\n"
+      "  ctfsck [options] tree <file.ctr>        check one packed R-tree\n"
+      "  ctfsck [options] forest <dir> <name>    check a whole forest\n"
+      "  ctfsck [options] wal <file.wal>         check a write-ahead log\n"
+      "  ctfsck [options] btree <file.ctb>       check a B+-tree index\n"
+      "  ctfsck                                  self-demo on a fresh "
+      "forest\n"
+      "\n"
+      "options:\n"
+      "  --deep            read every page: MBR containment, pack order,\n"
+      "                    fill factors, compression round-trips, CRCs\n"
+      "                    (default: metadata-level checks only)\n"
+      "  --json            emit the report as JSON on stdout\n"
+      "  --pool-pages=N    buffer-pool capacity in pages (default 1024)\n"
+      "  --help            this text\n"
+      "\n"
+      "exit codes:\n"
+      "  0   clean — no warnings, no errors\n"
+      "  1   at least one invariant violation (severity error)\n"
+      "  2   warnings only\n"
+      "  3   target file or forest does not exist\n"
+      "  4   I/O failure while checking\n"
+      "  64  usage error\n");
 }
 
-int CheckForest(const char* dir, const char* name) {
-  BufferPool pool(1024);
+struct CliOptions {
+  bool deep = false;
+  bool json = false;
+  size_t pool_pages = 1024;
+};
+
+/// Runs one checker, prints the report, and maps the outcome to an exit
+/// code. A non-OK Run() means the check could not execute at all.
+int RunChecker(Checker* checker, const CliOptions& cli) {
+  CheckReport report;
+  Status status = checker->Run(&report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ctfsck: %s check could not run: %s\n",
+                 checker->name().c_str(), status.ToString().c_str());
+    return status.IsNotFound() ? kExitMissing : kExitIo;
+  }
+  if (cli.json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
+  if (report.errors() > 0) return kExitErrors;
+  if (report.warnings() > 0) return kExitWarnings;
+  return kExitClean;
+}
+
+int SelfDemo(const CliOptions& cli) {
+  std::printf("ctfsck self-demo: building a small forest first...\n");
+  (void)system("rm -rf ctfsck_demo && mkdir -p ctfsck_demo");
+  BufferPool pool(cli.pool_pages);
   CubetreeForest::Options options;
-  options.dir = dir;
-  options.name = name;
-  auto forest_result = CubetreeForest::Open(options, &pool);
+  options.dir = "ctfsck_demo";
+  options.name = "demo";
+  auto forest_result = CubetreeForest::Create(options, &pool);
   if (!forest_result.ok()) {
-    std::fprintf(stderr, "ctfsck: cannot open forest: %s\n",
+    std::fprintf(stderr, "ctfsck: demo create failed: %s\n",
                  forest_result.status().ToString().c_str());
-    return 2;
+    return kExitIo;
   }
   auto forest = std::move(forest_result).value();
-  std::printf("forest %s/%s: %zu tree(s), %llu points, %llu bytes\n", dir,
-              name, forest->num_trees(),
-              static_cast<unsigned long long>(forest->TotalPoints()),
-              static_cast<unsigned long long>(forest->TotalSizeBytes()));
-  int bad = 0;
-  for (size_t t = 0; t < forest->num_trees(); ++t) {
-    Cubetree* tree = forest->tree(t);
-    std::printf("  R%zu (%s): %llu points ... ", t + 1,
-                tree->rtree()->path().c_str(),
-                static_cast<unsigned long long>(
-                    tree->rtree()->num_points()));
-    Status status = tree->rtree()->Validate();
-    if (status.ok()) {
-      std::printf("OK\n");
-    } else {
-      std::printf("INVALID: %s\n", status.ToString().c_str());
-      ++bad;
+  // One arity-1 view with ascending keys — already in pack order.
+  struct Provider : CubetreeForest::ViewDataProvider {
+    Result<std::unique_ptr<RecordStream>> OpenViewStream(
+        const ViewDef& view) override {
+      std::vector<char> flat;
+      std::vector<char> rec(ViewRecordBytes(view.arity()));
+      for (Coord x = 1; x <= 500; ++x) {
+        Coord coords[kMaxDims] = {x};
+        EncodeViewRecord(rec.data(), coords, view.arity(), AggValue{x, 1});
+        flat.insert(flat.end(), rec.begin(), rec.end());
+      }
+      return std::unique_ptr<RecordStream>(new MemoryRecordStream(
+          std::move(flat), ViewRecordBytes(view.arity())));
     }
+  } provider;
+  ViewDef v;
+  v.id = 1;
+  v.attrs = {0};
+  Status built = forest->Build({v}, &provider);
+  if (!built.ok()) {
+    std::fprintf(stderr, "ctfsck: demo build failed: %s\n",
+                 built.ToString().c_str());
+    return kExitIo;
   }
-  if (bad > 0) {
-    std::fprintf(stderr, "ctfsck: %d tree(s) failed validation\n", bad);
-    return 1;
-  }
-  std::printf("ctfsck: forest OK\n");
-  return 0;
+  forest.reset();
+  CheckOptions check_options;
+  check_options.deep = true;  // The demo always shows the deep checks.
+  ForestChecker checker("ctfsck_demo", "demo", &pool, check_options);
+  return RunChecker(&checker, cli);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::strcmp(argv[1], "tree") == 0) {
-    return CheckTree(argv[2]);
-  }
-  if (argc == 4 && std::strcmp(argv[1], "forest") == 0) {
-    return CheckForest(argv[2], argv[3]);
-  }
-  // With no arguments, self-demonstrate on a freshly built forest.
-  if (argc == 1) {
-    std::printf("ctfsck self-demo: building a small forest first...\n");
-    (void)system("rm -rf ctfsck_demo && mkdir -p ctfsck_demo");
-    BufferPool pool(256);
-    CubetreeForest::Options options;
-    options.dir = "ctfsck_demo";
-    options.name = "demo";
-    auto forest = std::move(CubetreeForest::Create(options, &pool).value());
-    // One arity-1 view with ascending keys — already in pack order.
-    struct Provider : CubetreeForest::ViewDataProvider {
-      Result<std::unique_ptr<RecordStream>> OpenViewStream(
-          const ViewDef& view) override {
-        std::vector<char> flat;
-        std::vector<char> rec(ViewRecordBytes(view.arity()));
-        for (Coord x = 1; x <= 500; ++x) {
-          Coord coords[kMaxDims] = {x};
-          EncodeViewRecord(rec.data(), coords, view.arity(),
-                           AggValue{x, 1});
-          flat.insert(flat.end(), rec.begin(), rec.end());
-        }
-        return std::unique_ptr<RecordStream>(new MemoryRecordStream(
-            std::move(flat), ViewRecordBytes(view.arity())));
+  CliOptions cli;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(stdout);
+      return kExitClean;
+    } else if (arg == "--deep") {
+      cli.deep = true;
+    } else if (arg == "--json") {
+      cli.json = true;
+    } else if (arg.rfind("--pool-pages=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(arg.c_str() + std::strlen("--pool-pages="), &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "ctfsck: bad --pool-pages value: %s\n",
+                     arg.c_str());
+        return kExitUsage;
       }
-    } provider;
-    ViewDef v;
-    v.id = 1;
-    v.attrs = {0};
-    if (!forest->Build({v}, &provider).ok()) return 1;
-    return CheckForest("ctfsck_demo", "demo");
+      cli.pool_pages = static_cast<size_t>(n);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "ctfsck: unknown option %s\n", arg.c_str());
+      PrintHelp(stderr);
+      return kExitUsage;
+    } else {
+      args.push_back(std::move(arg));
+    }
   }
-  std::fprintf(stderr,
-               "usage: ctfsck tree <file.ctr> | ctfsck forest <dir> "
-               "<name>\n");
-  return 2;
+
+  CheckOptions check_options;
+  check_options.deep = cli.deep;
+
+  if (args.empty()) return SelfDemo(cli);
+
+  const std::string& cmd = args[0];
+  if (cmd != "tree" && cmd != "forest" && cmd != "wal" && cmd != "btree") {
+    std::fprintf(stderr, "ctfsck: unknown subcommand %s\n", cmd.c_str());
+    PrintHelp(stderr);
+    return kExitUsage;
+  }
+
+  // File-based subcommands: distinguish "not there" (exit 3) from "there
+  // but unreadable" (exit 4) up front.
+  if (args.size() == 2 && ::access(args[1].c_str(), F_OK) != 0) {
+    std::fprintf(stderr, "ctfsck: %s: no such file\n", args[1].c_str());
+    return kExitMissing;
+  }
+
+  if (args[0] == "tree" && args.size() == 2) {
+    RTreeChecker checker(args[1], check_options);
+    return RunChecker(&checker, cli);
+  }
+  if (args[0] == "forest" && args.size() == 3) {
+    BufferPool pool(cli.pool_pages);
+    ForestChecker checker(args[1], args[2], &pool, check_options);
+    return RunChecker(&checker, cli);
+  }
+  if (args[0] == "wal" && args.size() == 2) {
+    WalChecker checker(args[1]);
+    return RunChecker(&checker, cli);
+  }
+  if (args[0] == "btree" && args.size() == 2) {
+    BTreeChecker checker(args[1], check_options);
+    return RunChecker(&checker, cli);
+  }
+
+  PrintHelp(stderr);
+  return kExitUsage;
 }

@@ -3,40 +3,24 @@
 #include <algorithm>
 #include <cstring>
 
+#include "btree/btree_node.h"
+#include "common/assert.h"
 #include "common/coding.h"
 
 namespace cubetree {
 
 namespace {
 
-// Node header layout (8 bytes):
-//   [0]    uint8  is_leaf
-//   [1]    uint8  reserved
-//   [2..3] uint16 entry count
-//   [4..7] PageId next_leaf (leaves) / leftmost child (internal nodes)
-constexpr size_t kNodeHeaderSize = 8;
-constexpr size_t kOffIsLeaf = 0;
-constexpr size_t kOffCount = 2;
-constexpr size_t kOffLink = 4;
+// Page layout lives in btree/btree_node.h, shared with the invariant
+// checker; local aliases keep the call sites below unchanged.
+constexpr size_t kNodeHeaderSize = kBTreeNodeHeaderSize;
 
-constexpr uint32_t kMetaMagic = 0x43544254;  // "CTBT"
-
-bool NodeIsLeaf(const char* page) { return page[kOffIsLeaf] != 0; }
-void SetNodeIsLeaf(char* page, bool leaf) {
-  page[kOffIsLeaf] = leaf ? 1 : 0;
-}
-uint16_t NodeCount(const char* page) {
-  uint16_t v;
-  std::memcpy(&v, page + kOffCount, sizeof(v));
-  return v;
-}
-void SetNodeCount(char* page, uint16_t count) {
-  std::memcpy(page + kOffCount, &count, sizeof(count));
-}
-PageId NodeLink(const char* page) { return DecodeFixed32(page + kOffLink); }
-void SetNodeLink(char* page, PageId link) {
-  EncodeFixed32(page + kOffLink, link);
-}
+bool NodeIsLeaf(const char* page) { return BNodeIsLeaf(page); }
+void SetNodeIsLeaf(char* page, bool leaf) { BNodeSetIsLeaf(page, leaf); }
+uint16_t NodeCount(const char* page) { return BNodeCount(page); }
+void SetNodeCount(char* page, uint16_t count) { BNodeSetCount(page, count); }
+PageId NodeLink(const char* page) { return BNodeLink(page); }
+void SetNodeLink(char* page, PageId link) { BNodeSetLink(page, link); }
 
 }  // namespace
 
@@ -69,6 +53,31 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(
   root.MarkDirty();
   tree->root_ = root.id();
   tree->height_ = 1;
+  CT_RETURN_NOT_OK(tree->WriteMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(
+    const std::string& path, BufferPool* pool,
+    std::shared_ptr<IoStats> io_stats) {
+  CT_ASSIGN_OR_RETURN(auto file, PageManager::Open(path, std::move(io_stats)));
+  Page meta_page;
+  CT_RETURN_NOT_OK(file->ReadPage(0, &meta_page));
+  BTreeMeta meta;
+  if (!BTreeReadMeta(meta_page.data, &meta)) {
+    return Status::Corruption("btree: bad magic in " + path);
+  }
+  if (meta.key_parts == 0 || meta.key_parts > kMaxBTreeKeyParts) {
+    return Status::Corruption("btree: key_parts out of range in " + path);
+  }
+  BTreeOptions options;
+  options.key_parts = meta.key_parts;
+  options.value_size = meta.value_size;
+  auto tree = std::unique_ptr<BPlusTree>(
+      new BPlusTree(std::move(file), options, pool));
+  tree->root_ = meta.root;
+  tree->height_ = meta.height;
+  tree->num_entries_ = meta.num_entries;
   return tree;
 }
 
@@ -101,13 +110,13 @@ inline void LoadKey(const char* entry, uint32_t* out, size_t parts) {
 
 Status BPlusTree::WriteMeta() {
   CT_ASSIGN_OR_RETURN(PageHandle meta, pool_->Fetch(file_.get(), 0));
-  char* p = meta.data();
-  EncodeFixed32(p, kMetaMagic);
-  p[4] = static_cast<char>(options_.key_parts);
-  EncodeFixed32(p + 8, options_.value_size);
-  EncodeFixed32(p + 12, root_);
-  EncodeFixed32(p + 16, height_);
-  EncodeFixed64(p + 20, num_entries_);
+  BTreeMeta m;
+  m.key_parts = options_.key_parts;
+  m.value_size = options_.value_size;
+  m.root = root_;
+  m.height = height_;
+  m.num_entries = num_entries_;
+  BTreeWriteMeta(meta.data(), m);
   meta.MarkDirty();
   return Status::OK();
 }
@@ -153,6 +162,8 @@ Status BPlusTree::InsertRecursive(PageId node_id, const uint32_t* key,
 
   if (NodeIsLeaf(page)) {
     const uint16_t count = NodeCount(page);
+    CT_DCHECK(count <= LeafCapacity())
+        << "corrupt leaf count in " << file_->path();
     const size_t entry_bytes = LeafEntryBytes();
     // Lower bound position for the new key.
     size_t lo = 0, hi = count;

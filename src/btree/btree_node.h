@@ -1,0 +1,98 @@
+#ifndef CUBETREE_BTREE_BTREE_NODE_H_
+#define CUBETREE_BTREE_BTREE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/coding.h"
+#include "storage/page.h"
+
+namespace cubetree {
+
+// On-page layouts of B+-tree nodes, shared by the tree implementation and
+// the offline invariant checker.
+//
+// Node header (8 bytes):
+//   [0]    uint8  is_leaf
+//   [1]    uint8  reserved
+//   [2..3] uint16 entry count
+//   [4..7] PageId next_leaf (leaves) / leftmost child (internal nodes)
+//
+// Meta page (page 0):
+//   [0..3]   magic "CTBT"
+//   [4]      uint8  key_parts
+//   [8..11]  uint32 value_size
+//   [12..15] PageId root
+//   [16..19] uint32 height (1 = root is a leaf)
+//   [20..27] uint64 num_entries
+
+inline constexpr size_t kBTreeNodeHeaderSize = 8;
+inline constexpr uint32_t kBTreeMetaMagic = 0x43544254;  // "CTBT"
+
+inline bool BNodeIsLeaf(const char* page) { return page[0] != 0; }
+inline void BNodeSetIsLeaf(char* page, bool leaf) { page[0] = leaf ? 1 : 0; }
+
+inline uint16_t BNodeCount(const char* page) {
+  uint16_t v;
+  std::memcpy(&v, page + 2, sizeof(v));
+  return v;
+}
+inline void BNodeSetCount(char* page, uint16_t count) {
+  std::memcpy(page + 2, &count, sizeof(count));
+}
+
+inline PageId BNodeLink(const char* page) { return DecodeFixed32(page + 4); }
+inline void BNodeSetLink(char* page, PageId link) {
+  EncodeFixed32(page + 4, link);
+}
+
+inline size_t BTreeKeyBytes(uint8_t key_parts) {
+  return static_cast<size_t>(key_parts) * sizeof(uint32_t);
+}
+inline size_t BTreeLeafEntryBytes(uint8_t key_parts, uint32_t value_size) {
+  return BTreeKeyBytes(key_parts) + value_size;
+}
+inline size_t BTreeInternalEntryBytes(uint8_t key_parts) {
+  return BTreeKeyBytes(key_parts) + sizeof(PageId);
+}
+inline uint16_t BTreeLeafCapacity(uint8_t key_parts, uint32_t value_size) {
+  return static_cast<uint16_t>((kPageSize - kBTreeNodeHeaderSize) /
+                               BTreeLeafEntryBytes(key_parts, value_size));
+}
+inline uint16_t BTreeInternalCapacity(uint8_t key_parts) {
+  return static_cast<uint16_t>((kPageSize - kBTreeNodeHeaderSize) /
+                               BTreeInternalEntryBytes(key_parts));
+}
+
+/// Decoded image of the B+-tree metadata page.
+struct BTreeMeta {
+  uint8_t key_parts = 0;
+  uint32_t value_size = 0;
+  PageId root = kInvalidPageId;
+  uint32_t height = 0;
+  uint64_t num_entries = 0;
+};
+
+inline void BTreeWriteMeta(char* page, const BTreeMeta& meta) {
+  EncodeFixed32(page, kBTreeMetaMagic);
+  page[4] = static_cast<char>(meta.key_parts);
+  EncodeFixed32(page + 8, meta.value_size);
+  EncodeFixed32(page + 12, meta.root);
+  EncodeFixed32(page + 16, meta.height);
+  EncodeFixed64(page + 20, meta.num_entries);
+}
+
+/// Returns false if the magic does not match; otherwise decodes into *meta.
+inline bool BTreeReadMeta(const char* page, BTreeMeta* meta) {
+  if (DecodeFixed32(page) != kBTreeMetaMagic) return false;
+  meta->key_parts = static_cast<uint8_t>(page[4]);
+  meta->value_size = DecodeFixed32(page + 8);
+  meta->root = DecodeFixed32(page + 12);
+  meta->height = DecodeFixed32(page + 16);
+  meta->num_entries = DecodeFixed64(page + 20);
+  return true;
+}
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_BTREE_BTREE_NODE_H_

@@ -1,0 +1,29 @@
+#include "check/checkers.h"
+
+namespace cubetree {
+
+struct BufferPoolChecker::Impl {
+  const BufferPool* pool;
+};
+
+BufferPoolChecker::BufferPoolChecker(const BufferPool* pool)
+    : impl_(new Impl{pool}) {}
+
+BufferPoolChecker::~BufferPoolChecker() = default;
+
+Status BufferPoolChecker::Run(CheckReport* report) {
+  if (impl_->pool == nullptr) {
+    return Status::InvalidArgument("bufferpool checker: null pool");
+  }
+  const size_t pinned = impl_->pool->PinnedPages();
+  if (pinned > 0) {
+    report->AddError(
+        "bufferpool", "pin-leak",
+        std::to_string(pinned) +
+            " frame(s) still pinned — a PageHandle was leaked and would "
+            "dangle at pool shutdown");
+  }
+  return Status::OK();
+}
+
+}  // namespace cubetree

@@ -1,0 +1,178 @@
+#include <map>
+#include <set>
+#include <utility>
+
+#include "check/checkers.h"
+#include "cubetree/forest.h"
+
+namespace cubetree {
+
+struct ForestChecker::Impl {
+  std::string dir;
+  std::string forest_name;
+  BufferPool* pool;
+  CheckOptions options;
+};
+
+ForestChecker::ForestChecker(std::string dir, std::string forest_name,
+                             BufferPool* pool, CheckOptions options)
+    : impl_(new Impl{std::move(dir), std::move(forest_name), pool, options}) {}
+
+ForestChecker::~ForestChecker() = default;
+
+Status ForestChecker::Run(CheckReport* report) {
+  CubetreeForest::Options options;
+  options.dir = impl_->dir;
+  options.name = impl_->forest_name;
+  auto forest_result = CubetreeForest::Open(options, impl_->pool);
+  if (!forest_result.ok()) {
+    const Status& status = forest_result.status();
+    if (status.IsCorruption()) {
+      // A manifest that exists but does not parse is a finding, not a
+      // "could not run": the store is there and it is broken.
+      report->AddError("forest", "manifest-corrupt", status.ToString(),
+                       impl_->dir + "/" + impl_->forest_name);
+      return Status::OK();
+    }
+    return status;
+  }
+  auto forest = std::move(forest_result).value();
+  const std::string forest_ctx = impl_->dir + "/" + impl_->forest_name;
+
+  // --- SelectMapping invariant + placement consistency ------------------
+  const ForestPlan& plan = forest->plan();
+  std::map<uint32_t, size_t> seen_views;  // view id -> owning tree.
+  for (size_t t = 0; t < plan.trees.size(); ++t) {
+    const ForestPlan::TreeSpec& spec = plan.trees[t];
+    std::set<uint8_t> arities;
+    uint8_t max_arity = 0;
+    for (uint32_t vid : spec.view_ids) {
+      auto view_result = forest->view(vid);
+      if (!view_result.ok()) {
+        report->AddError("forest", "unknown-view",
+                         "tree " + std::to_string(t) +
+                             " references undeclared view " +
+                             std::to_string(vid),
+                         forest_ctx);
+        continue;
+      }
+      const uint8_t arity = (*view_result)->arity();
+      max_arity = std::max(max_arity, arity);
+      if (!arities.insert(arity).second) {
+        report->AddError("forest", "select-mapping",
+                         "tree " + std::to_string(t) +
+                             " holds two views of arity " +
+                             std::to_string(arity) +
+                             " (violates one-view-per-arity-per-tree)",
+                         forest_ctx);
+      }
+      auto [it, inserted] = seen_views.emplace(vid, t);
+      if (!inserted) {
+        report->AddError("forest", "duplicate-placement",
+                         "view " + std::to_string(vid) +
+                             " placed in trees " +
+                             std::to_string(it->second) + " and " +
+                             std::to_string(t),
+                         forest_ctx);
+      }
+    }
+    const uint8_t expected_dims = std::max<uint8_t>(1, max_arity);
+    if (spec.dims != expected_dims) {
+      report->AddError("forest", "tree-dims",
+                       "tree " + std::to_string(t) + " has dims " +
+                           std::to_string(spec.dims) +
+                           " but its views' max arity is " +
+                           std::to_string(max_arity),
+                       forest_ctx);
+    }
+  }
+  for (const ViewDef& view : forest->views()) {
+    if (seen_views.count(view.id) == 0) {
+      report->AddError("forest", "unplaced-view",
+                       "view " + std::to_string(view.id) +
+                           " is declared but placed in no tree",
+                       forest_ctx);
+    }
+  }
+
+  // --- Per-tree scans: membership, contiguity, counts -------------------
+  uint64_t scanned_total = 0;
+  uint64_t meta_total = 0;
+  for (size_t t = 0; t < forest->num_trees(); ++t) {
+    Cubetree* tree = forest->tree(t);
+    std::set<uint32_t> planned(plan.trees[t].view_ids.begin(),
+                               plan.trees[t].view_ids.end());
+    std::set<uint32_t> present;
+    uint64_t scanned = 0;
+    PackedRTree::Scanner scanner = tree->rtree()->ScanAll();
+    while (true) {
+      const PointRecord* rec = nullptr;
+      Status status = scanner.Next(&rec);
+      if (!status.ok()) {
+        report->AddError("forest", "tree-scan",
+                         "scan of tree " + std::to_string(t) +
+                             " failed: " + status.ToString(),
+                         tree->rtree()->path());
+        break;
+      }
+      if (rec == nullptr) break;
+      if (present.insert(rec->view_id).second &&
+          planned.count(rec->view_id) == 0) {
+        report->AddError("forest", "stray-view",
+                         "tree " + std::to_string(t) +
+                             " stores points of view " +
+                             std::to_string(rec->view_id) +
+                             " which the plan does not place there",
+                         tree->rtree()->path());
+      }
+      ++scanned;
+    }
+    if (scanned != tree->rtree()->num_points()) {
+      report->AddError("forest", "point-count",
+                       "tree " + std::to_string(t) + " scan found " +
+                           std::to_string(scanned) +
+                           " points, metadata records " +
+                           std::to_string(tree->rtree()->num_points()),
+                       tree->rtree()->path());
+    }
+    scanned_total += scanned;
+    meta_total += tree->rtree()->num_points();
+    for (uint32_t vid : plan.trees[t].view_ids) {
+      if (present.count(vid) == 0) {
+        report->AddInfo("forest", "empty-view",
+                        "view " + std::to_string(vid) +
+                            " has no points in tree " + std::to_string(t),
+                        tree->rtree()->path());
+      }
+    }
+  }
+  if (scanned_total != meta_total || meta_total != forest->TotalPoints()) {
+    report->AddError("forest", "total-points",
+                     "forest point totals disagree (scanned " +
+                         std::to_string(scanned_total) + ", metadata " +
+                         std::to_string(forest->TotalPoints()) + ")",
+                     forest_ctx);
+  }
+
+  // --- Deep per-file validation -----------------------------------------
+  if (impl_->options.deep) {
+    auto arity_of = [&forest](uint32_t view_id) -> uint8_t {
+      auto view = forest->view(view_id);
+      return view.ok() ? (*view)->arity() : 0;
+    };
+    for (size_t t = 0; t < forest->num_trees(); ++t) {
+      Cubetree* tree = forest->tree(t);
+      RTreeChecker main_checker(tree->rtree()->path(), impl_->options,
+                                arity_of);
+      CT_RETURN_NOT_OK(main_checker.Run(report));
+      for (size_t d = 0; d < tree->num_deltas(); ++d) {
+        RTreeChecker delta_checker(tree->delta(d)->path(), impl_->options,
+                                   arity_of);
+        CT_RETURN_NOT_OK(delta_checker.Run(report));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cubetree

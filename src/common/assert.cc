@@ -1,0 +1,22 @@
+#include "common/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cubetree {
+namespace internal {
+
+AssertionFailure::AssertionFailure(const char* expr, const char* file,
+                                   int line)
+    : expr_(expr), file_(file), line_(line) {}
+
+AssertionFailure::~AssertionFailure() {
+  const std::string msg = stream_.str();
+  std::fprintf(stderr, "[%s:%d] CT_ASSERT failed: %s%s%s\n", file_, line_,
+               expr_, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cubetree

@@ -1,0 +1,65 @@
+#ifndef CUBETREE_COMMON_ASSERT_H_
+#define CUBETREE_COMMON_ASSERT_H_
+
+#include <sstream>
+
+namespace cubetree {
+namespace internal {
+
+/// Collects a stream-formatted message for a failed CT_ASSERT and aborts the
+/// process from its destructor (after printing expression, location and
+/// message to stderr). Mirrors the LogMessage idiom in common/logging.h.
+class AssertionFailure {
+ public:
+  AssertionFailure(const char* expr, const char* file, int line);
+  ~AssertionFailure();  // Prints and calls std::abort().
+
+  AssertionFailure(const AssertionFailure&) = delete;
+  AssertionFailure& operator=(const AssertionFailure&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands of a compiled-out CT_DCHECK.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace cubetree
+
+/// Always-on invariant check: aborts with a diagnostic when `cond` is false.
+/// Additional context can be streamed: CT_ASSERT(n > 0) << "n=" << n;
+/// Use for invariants whose violation means memory is already or about to be
+/// corrupted; recoverable conditions should return Status instead.
+#define CT_ASSERT(cond)                                               \
+  if (cond) {                                                         \
+  } else /* NOLINT(readability-else-after-return) */                  \
+    ::cubetree::internal::AssertionFailure(#cond, __FILE__, __LINE__) \
+        .stream()
+
+/// Debug-only invariant check, enabled when NDEBUG is off or when the build
+/// defines CUBETREE_DCHECK_ALWAYS (the sanitizer configurations do). In
+/// release builds it compiles to nothing and does not evaluate `cond`.
+#if !defined(NDEBUG) || defined(CUBETREE_DCHECK_ALWAYS)
+#define CT_DCHECK(cond) CT_ASSERT(cond)
+#define CT_DCHECK_IS_ON() true
+#else
+#define CT_DCHECK(cond)                                  \
+  if (true) {                                            \
+  } else /* NOLINT(readability-else-after-return) */     \
+    ::cubetree::internal::NullStream()
+#define CT_DCHECK_IS_ON() false
+#endif
+
+#endif  // CUBETREE_COMMON_ASSERT_H_

@@ -1,10 +1,10 @@
 #ifndef CUBETREE_COMMON_RESULT_H_
 #define CUBETREE_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/assert.h"
 #include "common/status.h"
 
 namespace cubetree {
@@ -21,22 +21,22 @@ class Result {
   /// Implicit construction from a non-OK status (failure). Constructing a
   /// Result from an OK status is a programming error.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok());
+    CT_DCHECK(!status_.ok()) << "Result built from an OK status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CT_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CT_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CT_DCHECK(ok()) << "value() on error Result: " << status_.ToString();
     return std::move(*value_);
   }
 

@@ -1,5 +1,7 @@
 #include "cubetree/cubetree.h"
 
+#include "common/assert.h"
+
 namespace cubetree {
 
 Result<const ViewDef*> Cubetree::FindView(uint32_t view_id) const {
@@ -78,6 +80,8 @@ Status Cubetree::QueryBox(
     SearchStats* stats) {
   CT_ASSIGN_OR_RETURN(Rect rect, BoxRect(view_id, intervals));
   auto filter = [&](const PointRecord& rec) {
+    CT_DCHECK(rect.ContainsPoint(rec.coords, tree_->dims()))
+        << "search emitted a point outside the query box";
     if (rec.view_id == view_id) emit(rec.coords, rec.agg);
   };
   CT_RETURN_NOT_OK(tree_->Search(rect, filter, stats));

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "common/assert.h"
 #include "cubetree/merge_pack.h"
 #include "storage/page_manager.h"
 
@@ -244,6 +246,21 @@ Status CubetreeForest::Build(const std::vector<ViewDef>& views,
     }
   } else {
     plan_ = SelectMapping(views_);
+  }
+  if (CT_DCHECK_IS_ON()) {
+    // Whichever planner ran, the SelectMapping invariant must hold: every
+    // view placed exactly once, at most one view per arity per tree.
+    std::set<uint32_t> placed;
+    for (const ForestPlan::TreeSpec& spec : plan_.trees) {
+      std::set<uint8_t> arities;
+      for (uint32_t vid : spec.view_ids) {
+        CT_DCHECK(placed.insert(vid).second)
+            << "view " << vid << " placed in two trees";
+        CT_DCHECK(arities.insert(views_by_id_.at(vid).arity()).second)
+            << "two views of one arity share a tree";
+      }
+    }
+    CT_DCHECK(placed.size() == views_.size()) << "plan left a view unplaced";
   }
   generations_.assign(plan_.trees.size(), 0);
   delta_generations_.assign(plan_.trees.size(), {});

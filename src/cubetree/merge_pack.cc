@@ -1,5 +1,8 @@
 #include "cubetree/merge_pack.h"
 
+#include <cstring>
+
+#include "common/assert.h"
 #include "cubetree/cubetree.h"
 #include "rtree/geometry.h"
 
@@ -38,6 +41,13 @@ Status MergePointSource::Next(const PointRecord** record) {
     merged_.agg.Merge(cur_b_->agg);
     CT_RETURN_NOT_OK(a_->Next(&cur_a_));
     CT_RETURN_NOT_OK(b_->Next(&cur_b_));
+  }
+  if (CT_DCHECK_IS_ON()) {
+    CT_DCHECK(!have_prev_ ||
+              PackOrderCompare(prev_coords_, merged_.coords, dims_) < 0)
+        << "merge-pack output left pack order";
+    std::memcpy(prev_coords_, merged_.coords, sizeof(prev_coords_));
+    have_prev_ = true;
   }
   *record = &merged_;
   return Status::OK();

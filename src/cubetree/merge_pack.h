@@ -32,6 +32,10 @@ class MergePointSource : public PointSource {
   const PointRecord* cur_b_ = nullptr;
   bool primed_ = false;
   PointRecord merged_;
+  // Debug-only: previous emitted coordinates, to CT_DCHECK that the merge
+  // of two pack-ordered inputs stays pack-ordered.
+  Coord prev_coords_[kMaxDims];
+  bool have_prev_ = false;
 };
 
 /// Merge-packs `old_tree` (may be null for an initial build) with `delta`

@@ -1,16 +1,13 @@
 #include "engine/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/assert.h"
 #include "common/coding.h"
+#include "common/crc32.h"
 
 namespace cubetree {
-
-namespace {
-// Per-record header: 4-byte length. A real log adds LSN/txn ids; the
-// length-prefixed row image is enough to model the I/O volume.
-constexpr size_t kRecordHeader = 4;
-}  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
     const std::string& path, std::shared_ptr<IoStats> io_stats) {
@@ -22,29 +19,43 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
 }
 
 Status WriteAheadLog::LogRecord(const char* data, size_t size) {
-  size_t remaining = size;
-  const char* src = data;
-  // Header, possibly split across a page boundary like the payload.
+  if (size == 0) {
+    return Status::InvalidArgument(
+        "wal: empty records are not loggable (zero length marks padding)");
+  }
+  CT_DCHECK(page_used_ < kPageSize);
+  // Keep the header within one page so a reader can always parse it from a
+  // contiguous range: pad the tail (already zeroed) and open a new page.
+  if (kPageSize - page_used_ < kRecordHeader) {
+    CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
+    page_.Zero();
+    page_used_ = 0;
+  }
   char header[kRecordHeader];
   EncodeFixed32(header, static_cast<uint32_t>(size));
-  const char* pieces[2] = {header, src};
-  size_t lens[2] = {kRecordHeader, remaining};
-  for (int p = 0; p < 2; ++p) {
-    const char* cursor = pieces[p];
-    size_t left = lens[p];
-    while (left > 0) {
-      const size_t room = kPageSize - page_used_;
-      const size_t n = std::min(room, left);
-      std::memcpy(page_.data + page_used_, cursor, n);
-      page_used_ += n;
-      cursor += n;
-      left -= n;
-      if (page_used_ == kPageSize) {
-        CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
-        page_.Zero();
-        page_used_ = 0;
-      }
+  EncodeFixed32(header + 4, Crc32c(data, size));
+  std::memcpy(page_.data + page_used_, header, kRecordHeader);
+  page_used_ += kRecordHeader;
+
+  // The payload may span any number of page boundaries.
+  const char* cursor = data;
+  size_t left = size;
+  while (left > 0) {
+    if (page_used_ == kPageSize) {
+      CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
+      page_.Zero();
+      page_used_ = 0;
     }
+    const size_t n = std::min(kPageSize - page_used_, left);
+    std::memcpy(page_.data + page_used_, cursor, n);
+    page_used_ += n;
+    cursor += n;
+    left -= n;
+  }
+  if (page_used_ == kPageSize) {
+    CT_RETURN_NOT_OK(file_->AppendPage(page_).status());
+    page_.Zero();
+    page_used_ = 0;
   }
   bytes_logged_ += size + kRecordHeader;
   ++records_;
@@ -58,6 +69,102 @@ Status WriteAheadLog::Force() {
     page_used_ = 0;
   }
   return file_->Sync();
+}
+
+namespace {
+
+Status WalCorruption(const std::string& path, PageId page, size_t offset,
+                     const std::string& what) {
+  return Status::Corruption("wal " + path + ": " + what + " at page " +
+                            std::to_string(page) + " offset " +
+                            std::to_string(offset));
+}
+
+}  // namespace
+
+Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<void(const char* data, size_t size)>& apply,
+    std::shared_ptr<IoStats> io_stats) {
+  CT_ASSIGN_OR_RETURN(auto file, PageManager::Open(path, std::move(io_stats)));
+  ReplayStats stats;
+  Page page;
+  PageId page_id = 0;
+  size_t offset = 0;
+  bool loaded = false;
+  std::string payload;
+  while (true) {
+    if (!loaded) {
+      if (page_id >= file->NumPages()) break;  // Clean end of log.
+      CT_RETURN_NOT_OK(file->ReadPage(page_id, &page));
+      loaded = true;
+      offset = 0;
+    }
+    // A header never spans pages; fewer than kRecordHeader bytes of room
+    // means the writer padded the tail with zeros.
+    if (kPageSize - offset < kRecordHeader) {
+      for (size_t i = offset; i < kPageSize; ++i) {
+        if (page.data[i] != 0) {
+          return WalCorruption(path, page_id, i, "nonzero header padding");
+        }
+      }
+      ++page_id;
+      loaded = false;
+      continue;
+    }
+    const uint32_t length = DecodeFixed32(page.data + offset);
+    const uint32_t crc = DecodeFixed32(page.data + offset + 4);
+    if (length == 0) {
+      // Padding from Force(): the rest of this page must be zero.
+      if (crc != 0) {
+        return WalCorruption(path, page_id, offset, "nonzero CRC in padding");
+      }
+      for (size_t i = offset; i < kPageSize; ++i) {
+        if (page.data[i] != 0) {
+          return WalCorruption(path, page_id, i, "nonzero tail padding");
+        }
+      }
+      ++page_id;
+      loaded = false;
+      continue;
+    }
+    offset += kRecordHeader;
+    payload.clear();
+    payload.reserve(length);
+    size_t left = length;
+    while (left > 0) {
+      if (offset == kPageSize) {
+        ++page_id;
+        if (page_id >= file->NumPages()) {
+          return WalCorruption(path, page_id, 0,
+                               "truncated record payload (length " +
+                                   std::to_string(length) + ")");
+        }
+        CT_RETURN_NOT_OK(file->ReadPage(page_id, &page));
+        offset = 0;
+      }
+      const size_t n = std::min(kPageSize - offset, left);
+      payload.append(page.data + offset, n);
+      offset += n;
+      left -= n;
+    }
+    if (offset == kPageSize) {
+      ++page_id;
+      loaded = false;
+    }
+    const uint32_t actual = Crc32c(payload.data(), payload.size());
+    if (actual != crc) {
+      return WalCorruption(path, page_id, offset,
+                           "record CRC mismatch (stored " +
+                               std::to_string(crc) + ", computed " +
+                               std::to_string(actual) + ")");
+    }
+    if (apply) apply(payload.data(), payload.size());
+    ++stats.records;
+    stats.payload_bytes += payload.size();
+    stats.digest = Crc32c(payload.data(), payload.size(), stats.digest);
+  }
+  return stats;
 }
 
 }  // namespace cubetree

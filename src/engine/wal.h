@@ -1,6 +1,7 @@
 #ifndef CUBETREE_ENGINE_WAL_H_
 #define CUBETREE_ENGINE_WAL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -17,17 +18,49 @@ namespace cubetree {
 /// syncs, modeling a commit. The Cubetree Datablade's bulk loader and
 /// merge-packer write fresh files and swap them in, so that path runs —
 /// as its real counterpart did — without logging.
+///
+/// On-disk framing: each record is an 8-byte header (4-byte payload length,
+/// 4-byte CRC-32C of the payload) followed by the payload. Headers never
+/// span a page boundary — if fewer than 8 bytes remain in a page the tail
+/// is zero-padded and the record starts on the next page (payloads may
+/// still span pages). A zero length+CRC therefore unambiguously marks
+/// padding, which also covers the tail of the partial page Force() writes.
 class WriteAheadLog {
  public:
+  /// Size of the per-record header (length + CRC).
+  static constexpr size_t kRecordHeader = 8;
+
   static Result<std::unique_ptr<WriteAheadLog>> Create(
       const std::string& path, std::shared_ptr<IoStats> io_stats = nullptr);
 
-  /// Appends one log record (a copy of the affected row image plus a small
-  /// header). Writes a page whenever one fills.
+  /// Appends one log record (a copy of the affected row image plus the
+  /// framing header). Writes a page whenever one fills. `size` must be > 0
+  /// (a zero length marks padding on disk).
   Status LogRecord(const char* data, size_t size);
 
-  /// Commit: flush the current partial page and fsync.
+  /// Commit: flush the current partial page (zero-padded) and fsync.
   Status Force();
+
+  /// Summary of one replay pass over a log file.
+  struct ReplayStats {
+    uint64_t records = 0;
+    uint64_t payload_bytes = 0;
+    /// CRC-32C over the concatenation of all payloads, in order; two
+    /// replays of the same log must agree (replay idempotence).
+    uint32_t digest = 0;
+  };
+
+  /// Reads the log at `path` front to back, verifying record framing and
+  /// per-record CRCs, and invokes `apply` (if non-null) with each payload.
+  /// Returns Corruption on a bad CRC, malformed length, nonzero padding or
+  /// truncated payload. Only fully written pages are visible: records
+  /// buffered but never Force()d are not replayed, matching the commit
+  /// semantics of the writer.
+  static Result<ReplayStats> Replay(
+      const std::string& path,
+      const std::function<void(const char* data, size_t size)>& apply =
+          nullptr,
+      std::shared_ptr<IoStats> io_stats = nullptr);
 
   uint64_t BytesLogged() const { return bytes_logged_; }
   uint64_t records() const { return records_; }

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <set>
 
+#include "common/assert.h"
+
 #include "common/coding.h"
 #include "rtree/node.h"
 
@@ -122,6 +124,10 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
       leaf_mbr = Rect::FromPoint(rec->coords, options.dims);
       leaf_open = true;
     }
+    CT_DCHECK(leaf_arity <= options.dims)
+        << "view arity exceeds tree dimensionality";
+    CT_DCHECK(in_leaf < RLeafCapacity(leaf_arity))
+        << "leaf overflow during bulk load";
     char* dest = leaf.data + kRNodeHeaderSize +
                  static_cast<size_t>(in_leaf) * RLeafEntryBytes(leaf_arity);
     RLeafWriteEntry(dest, rec->coords, leaf_arity, rec->agg);
@@ -218,6 +224,9 @@ Status PackedRTree::SearchNode(
     if (stats != nullptr) ++stats->leaf_pages;
     const uint8_t arity = RNodeArity(page);
     const uint32_t view_id = RNodeViewId(page);
+    CT_DCHECK(arity <= options_.dims) << "corrupt leaf arity in " << path();
+    CT_DCHECK(count <= RLeafCapacity(arity))
+        << "corrupt leaf count in " << path();
     const size_t entry_bytes = RLeafEntryBytes(arity);
     PointRecord rec;
     for (uint16_t i = 0; i < count; ++i) {
@@ -386,6 +395,10 @@ Status PackedRTree::Scanner::Next(const PointRecord** record) {
         return Status::OK();
       }
       CT_RETURN_NOT_OK(tree_->file_->ReadPage(next_page_, &page_));
+      // Pages 1..num_leaf_pages are leaves by the packed file layout.
+      CT_DCHECK(RNodeIsLeaf(page_.data))
+          << "non-leaf page " << next_page_ << " in the leaf region of "
+          << tree_->path();
       ++next_page_;
       count_ = RNodeCount(page_.data);
       slot_ = 0;

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
+#include "common/assert.h"
+#include "common/logging.h"
 
 namespace cubetree {
 
@@ -20,7 +21,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::MarkDirty() {
-  assert(pool_ != nullptr);
+  CT_ASSERT(pool_ != nullptr) << "MarkDirty on an invalid PageHandle";
   pool_->MarkFrameDirty(frame_);
 }
 
@@ -40,14 +41,39 @@ BufferPool::BufferPool(size_t capacity_pages)
 }
 
 BufferPool::~BufferPool() {
+  // A frame still pinned here means a PageHandle outlived the pool: its
+  // page pointer is about to dangle. Surface the leak instead of silently
+  // tearing down.
+  const size_t pinned = PinnedPages();
+  if (pinned > 0) {
+    for (const Frame& f : frames_) {
+      if (f.pin_count > 0) {
+        CT_LOG(Error) << "buffer pool: page " << f.page_id << " of "
+                      << (f.file != nullptr ? f.file->path() : "<none>")
+                      << " still pinned " << f.pin_count
+                      << " time(s) at pool shutdown";
+      }
+    }
+    CT_DCHECK(pinned == 0)
+        << pinned << " frame(s) still pinned at BufferPool shutdown";
+  }
   // Best effort: write back whatever is dirty. Errors here cannot be
   // reported; production callers should FlushAll() explicitly.
   (void)FlushAll();
 }
 
+size_t BufferPool::PinnedPages() const {
+  size_t pinned = 0;
+  for (const Frame& f : frames_) {
+    if (f.file != nullptr && f.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
 void BufferPool::Unpin(size_t frame_index) {
   Frame& f = frames_[frame_index];
-  assert(f.pin_count > 0);
+  CT_ASSERT(f.pin_count > 0) << "unpin of page " << f.page_id
+                             << " with zero pin count";
   --f.pin_count;
   if (f.pin_count == 0 && !f.in_lru) {
     lru_.push_front(frame_index);
@@ -62,7 +88,7 @@ void BufferPool::MarkFrameDirty(size_t frame_index) {
 
 Status BufferPool::EvictFrame(size_t frame_index, bool write_back) {
   Frame& f = frames_[frame_index];
-  assert(f.pin_count == 0);
+  CT_DCHECK(f.pin_count == 0) << "evicting pinned page " << f.page_id;
   if (f.dirty && write_back) {
     CT_RETURN_NOT_OK(f.file->WritePage(f.page_id, *f.page));
     ++stats_.dirty_writebacks;

@@ -89,6 +89,10 @@ class BufferPool {
   Status DropFile(PageManager* file, bool write_back = true);
 
   size_t capacity() const { return capacity_; }
+  /// Number of frames currently pinned by live PageHandles. Nonzero at
+  /// shutdown means a handle leaked (the destructor logs and, under
+  /// CT_DCHECK, aborts); the invariant checker reports it as a finding.
+  size_t PinnedPages() const;
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStats* mutable_stats() { return &stats_; }
 

@@ -8,6 +8,8 @@
 
 #include <sys/stat.h>
 
+#include "common/assert.h"
+
 namespace cubetree {
 
 namespace {
@@ -84,6 +86,8 @@ Result<PageId> PageManager::AllocatePage() {
 }
 
 Status PageManager::ReadPage(PageId id, Page* page) {
+  CT_DCHECK(page != nullptr);
+  CT_DCHECK(fd_ >= 0) << "page file " << path_ << " not open";
   if (id >= num_pages_) {
     return Status::InvalidArgument("read past end of page file " + path_);
   }
