@@ -18,6 +18,7 @@
 #include "check/checkers.h"
 #include "check/invariant_checker.h"
 #include "cubetree/forest.h"
+#include "fault/fault_injector.h"
 #include "storage/buffer_pool.h"
 
 using namespace cubetree;
@@ -51,6 +52,8 @@ void PrintHelp(std::FILE* out) {
       "                    (default: metadata-level checks only)\n"
       "  --json            emit the report as JSON on stdout\n"
       "  --pool-pages=N    buffer-pool capacity in pages (default 1024)\n"
+      "  --failpoints      list every registered fault-injection point and\n"
+      "                    exit (see CUBETREE_FAILPOINTS below)\n"
       "  --help            this text\n"
       "\n"
       "exit codes:\n"
@@ -85,6 +88,22 @@ int RunChecker(Checker* checker, const CliOptions& cli) {
   }
   if (report.errors() > 0) return kExitErrors;
   if (report.warnings() > 0) return kExitWarnings;
+  return kExitClean;
+}
+
+int ListFailpoints() {
+  std::printf(
+      "Registered fault-injection points (arm via CUBETREE_FAILPOINTS):\n"
+      "\n"
+      "  CUBETREE_FAILPOINTS='name=ACTION[(MAX)][@HIT][;name=...]'\n"
+      "  ACTION: error | torn | crash | throw\n"
+      "  @HIT:   trigger on the Nth hit of the point (default 1)\n"
+      "  (MAX):  stay armed for MAX triggers (default: unlimited)\n"
+      "\n");
+  for (const FaultInjector::PointInfo& point :
+       FaultInjector::Instance().RegisteredPoints()) {
+    std::printf("  %-26s %s\n", point.name, point.description);
+  }
   return kExitClean;
 }
 
@@ -143,6 +162,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       PrintHelp(stdout);
       return kExitClean;
+    } else if (arg == "--failpoints") {
+      return ListFailpoints();
     } else if (arg == "--deep") {
       cli.deep = true;
     } else if (arg == "--json") {

@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,9 @@ enum class StatusCode : int {
   kAlreadyExists = 6,
   kResourceExhausted = 7,
   kInternal = 8,
+  /// The target exists but is temporarily out of service (e.g. a
+  /// quarantined Cubetree awaiting rebuild) — retry after repair.
+  kUnavailable = 9,
 };
 
 /// A Status is either OK (cheap, no allocation) or an error code plus a
@@ -59,6 +62,9 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -67,6 +73,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,14 +1,26 @@
 #include "cubetree/forest.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <string_view>
 
+#include "check/checkers.h"
+#include "check/invariant_checker.h"
 #include "common/assert.h"
+#include "common/logging.h"
 #include "cubetree/merge_pack.h"
+#include "engine/wal.h"
+#include "fault/fault_injector.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -55,7 +67,31 @@ class MultiViewPointSource : public PointSource {
   PointRecord record_;
 };
 
+/// Sets `path` aside under a ".quarantine" suffix. Best effort: a rename
+/// failure is logged, and the original path is left for a later recovery
+/// pass. Returns the new path on success.
+bool SetAsideQuarantined(const std::string& path, std::string* aside) {
+  *aside = path + ".quarantine";
+  if (std::rename(path.c_str(), aside->c_str()) != 0) {
+    CT_LOG(Warn) << "forest: cannot quarantine " << path << ": "
+                 << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::string ForestRecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << "recovery: journal="
+      << (journal_found ? (refresh_in_flight ? "in-flight" : "committed")
+                        : "none")
+      << " orphans_removed=" << removed_orphans.size()
+      << " quarantined_trees=" << quarantined_trees.size();
+  for (const std::string& note : notes) out << "\n  " << note;
+  return out.str();
+}
 
 Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Create(
     Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
@@ -84,48 +120,99 @@ std::string CubetreeForest::ManifestPath() const {
   return options_.dir + "/" + options_.name + ".manifest";
 }
 
-Status CubetreeForest::SaveManifest() const {
-  // Write-then-rename so the manifest swap is atomic: a crash mid-refresh
-  // leaves the previous generation's manifest (and files) untouched.
-  const std::string tmp = ManifestPath() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return Status::IOError("cannot write " + tmp);
-    out << "cubetree-forest-manifest v1\n";
-    out << "views " << views_.size() << "\n";
-    for (const ViewDef& v : views_) {
-      out << "view " << v.id << " " << static_cast<int>(v.arity());
-      for (uint32_t a : v.attrs) out << " " << a;
-      out << "\n";
-    }
-    out << "trees " << plan_.trees.size() << "\n";
-    for (size_t t = 0; t < plan_.trees.size(); ++t) {
-      out << "tree " << static_cast<int>(plan_.trees[t].dims) << " "
-          << generations_[t];
-      for (uint32_t vid : plan_.trees[t].view_ids) out << " " << vid;
-      out << "\n";
-    }
-    for (size_t t = 0; t < delta_generations_.size(); ++t) {
-      for (uint32_t generation : delta_generations_[t]) {
-        out << "delta " << t << " " << generation << "\n";
-      }
-    }
-    if (!out.good()) return Status::IOError("short write to " + tmp);
+std::string CubetreeForest::JournalPath() const {
+  return options_.dir + "/" + options_.name + ".refresh.wal";
+}
+
+std::string CubetreeForest::SerializeManifest(
+    const std::vector<uint32_t>& generations,
+    const std::vector<std::vector<uint32_t>>& delta_generations) const {
+  std::ostringstream out;
+  out << "cubetree-forest-manifest v1\n";
+  out << "views " << views_.size() << "\n";
+  for (const ViewDef& v : views_) {
+    out << "view " << v.id << " " << static_cast<int>(v.arity());
+    for (uint32_t a : v.attrs) out << " " << a;
+    out << "\n";
   }
+  out << "trees " << plan_.trees.size() << "\n";
+  for (size_t t = 0; t < plan_.trees.size(); ++t) {
+    out << "tree " << static_cast<int>(plan_.trees[t].dims) << " "
+        << generations[t];
+    for (uint32_t vid : plan_.trees[t].view_ids) out << " " << vid;
+    out << "\n";
+  }
+  for (size_t t = 0; t < delta_generations.size(); ++t) {
+    for (uint32_t generation : delta_generations[t]) {
+      out << "delta " << t << " " << generation << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status CubetreeForest::SaveManifestDurable(
+    const std::vector<uint32_t>& generations,
+    const std::vector<std::vector<uint32_t>>& delta_generations) const {
+  // The manifest names tree files, so those files must be durable before
+  // the manifest can point at them (PackedRTree::Build fsyncs). The swap
+  // itself: write tmp -> fsync(tmp) -> fsync(dir) -> rename -> fsync(dir).
+  // A crash anywhere before the rename leaves the old manifest in effect;
+  // after it, the new one. There is no in-between.
+  const std::string data = SerializeManifest(generations, delta_generations);
+  const std::string tmp = ManifestPath() + ".tmp";
+  CT_FAULT("forest.manifest.create");
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("create " + tmp + ": " + std::strerror(errno));
+  }
+  Status status;
+  if (FaultInjector::AnyArmed()) {
+    status = FaultInjector::Instance().MaybeFail("forest.manifest.write");
+  }
+  if (status.ok()) status = PwriteFully(fd, data.data(), data.size(), 0, tmp);
+  if (status.ok() && FaultInjector::AnyArmed()) {
+    status = FaultInjector::Instance().MaybeFail("forest.manifest.sync");
+  }
+  if (status.ok()) status = SyncFd(fd, tmp);
+  ::close(fd);
+  if (status.ok()) status = SyncDir(options_.dir);
+  if (status.ok() && FaultInjector::AnyArmed()) {
+    status = FaultInjector::Instance().MaybeFail("forest.manifest.rename");
+  }
+  if (!status.ok()) return status;
   if (std::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
-    return Status::IOError("cannot rename manifest into place");
+    return Status::IOError("rename " + tmp + ": " + std::strerror(errno));
+  }
+  // Commit point. The rename is visible; failing the caller now would make
+  // it believe the old state is still in effect, so later problems are
+  // logged instead of returned. (A real power cut before this directory
+  // sync lands is equivalent to crashing before the rename — recovery
+  // handles either generation.)
+  if (FaultInjector::AnyArmed()) {
+    FaultOutcome outcome =
+        FaultInjector::Instance().Check("forest.manifest.dirsync");
+    if (outcome.fail) {
+      CT_LOG(Warn) << "forest: manifest dirsync skipped: "
+                   << outcome.ToStatus().ToString();
+      return Status::OK();
+    }
+  }
+  Status synced = SyncDir(options_.dir);
+  if (!synced.ok()) {
+    CT_LOG(Warn) << "forest: manifest dirsync: " << synced.ToString();
   }
   return Status::OK();
 }
 
-Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
-    Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
-  CT_ASSIGN_OR_RETURN(auto forest,
-                      Create(std::move(options), pool, std::move(io_stats)));
-  std::ifstream in(forest->ManifestPath());
+Status CubetreeForest::SaveManifest() const {
+  return SaveManifestDurable(generations_, delta_generations_);
+}
+
+Status CubetreeForest::LoadManifest(bool tolerant,
+                                    ForestRecoveryReport* report) {
+  std::ifstream in(ManifestPath());
   if (!in) {
-    return Status::NotFound("no forest manifest at " +
-                            forest->ManifestPath());
+    return Status::NotFound("no forest manifest at " + ManifestPath());
   }
   std::string line;
   if (!std::getline(in, line) || line != "cubetree-forest-manifest v1") {
@@ -147,11 +234,12 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
       if (!(in >> attr)) return malformed();
       v.attrs.push_back(attr);
     }
-    forest->views_.push_back(v);
-    if (!forest->views_by_id_.emplace(v.id, v).second) return malformed();
+    views_.push_back(v);
+    if (!views_by_id_.emplace(v.id, v).second) return malformed();
   }
   size_t num_trees = 0;
   if (!(in >> word >> num_trees) || word != "trees") return malformed();
+  std::vector<Status> main_failures;
   for (size_t t = 0; t < num_trees; ++t) {
     int dims = 0;
     uint32_t generation = 0;
@@ -166,38 +254,236 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
     uint32_t vid;
     std::vector<ViewDef> tree_views;
     while (ids >> vid) {
-      auto it = forest->views_by_id_.find(vid);
-      if (it == forest->views_by_id_.end()) return malformed();
+      auto it = views_by_id_.find(vid);
+      if (it == views_by_id_.end()) return malformed();
       spec.view_ids.push_back(vid);
       tree_views.push_back(it->second);
-      forest->plan_.view_to_tree[vid] = t;
+      plan_.view_to_tree[vid] = t;
     }
-    forest->plan_.trees.push_back(std::move(spec));
-    forest->generations_.push_back(generation);
-    CT_ASSIGN_OR_RETURN(auto rtree,
-                        PackedRTree::Open(forest->TreePath(t, generation),
-                                          pool, forest->io_stats_));
-    forest->trees_.push_back(std::make_unique<Cubetree>(
-        std::move(tree_views), std::move(rtree)));
+    plan_.trees.push_back(std::move(spec));
+    generations_.push_back(generation);
+    auto rtree = PackedRTree::Open(TreePath(t, generation), pool_, io_stats_);
+    if (rtree.ok()) {
+      trees_.push_back(std::make_unique<Cubetree>(std::move(tree_views),
+                                                  std::move(rtree).value()));
+      main_failures.push_back(Status::OK());
+    } else if (tolerant) {
+      trees_.push_back(nullptr);
+      main_failures.push_back(rtree.status());
+    } else {
+      return rtree.status();
+    }
   }
-  forest->delta_generations_.assign(num_trees, {});
-  forest->next_delta_generation_.assign(num_trees, 0);
+  delta_generations_.assign(num_trees, {});
+  next_delta_generation_.assign(num_trees, 0);
+  quarantined_.assign(num_trees, false);
+  quarantine_files_.assign(num_trees, {});
+  for (size_t t = 0; t < num_trees; ++t) {
+    if (!main_failures[t].ok()) quarantined_[t] = true;
+  }
   while (in >> word) {
     if (word != "delta") return malformed();
     size_t tree_index = 0;
     uint32_t generation = 0;
-    if (!(in >> tree_index >> generation) ||
-        tree_index >= forest->trees_.size()) {
+    if (!(in >> tree_index >> generation) || tree_index >= trees_.size()) {
       return malformed();
     }
-    CT_ASSIGN_OR_RETURN(
-        auto delta_tree,
-        PackedRTree::Open(forest->DeltaPath(tree_index, generation), pool,
-                          forest->io_stats_));
-    forest->trees_[tree_index]->AddDelta(std::move(delta_tree));
-    forest->delta_generations_[tree_index].push_back(generation);
-    forest->next_delta_generation_[tree_index] =
-        std::max(forest->next_delta_generation_[tree_index], generation + 1);
+    next_delta_generation_[tree_index] =
+        std::max(next_delta_generation_[tree_index], generation + 1);
+    if (quarantined_[tree_index]) {
+      // The tree is already out of service; set its delta file aside too.
+      const std::string path = DeltaPath(tree_index, generation);
+      std::string aside;
+      if (FileExists(path) && SetAsideQuarantined(path, &aside)) {
+        quarantine_files_[tree_index].push_back(aside);
+      }
+      continue;
+    }
+    delta_generations_[tree_index].push_back(generation);
+    auto delta_tree = PackedRTree::Open(DeltaPath(tree_index, generation),
+                                        pool_, io_stats_);
+    if (delta_tree.ok()) {
+      trees_[tree_index]->AddDelta(std::move(delta_tree).value());
+    } else if (tolerant) {
+      QuarantineTree(tree_index, delta_tree.status(), report);
+    } else {
+      return delta_tree.status();
+    }
+  }
+  // Finish quarantining trees whose main file would not open: set aside
+  // whatever is left of them and record the event.
+  for (size_t t = 0; t < num_trees; ++t) {
+    if (main_failures[t].ok()) continue;
+    const std::string path = TreePath(t, generations_[t]);
+    std::string aside;
+    if (FileExists(path) && SetAsideQuarantined(path, &aside)) {
+      quarantine_files_[t].push_back(aside);
+    }
+    if (report != nullptr) {
+      report->quarantined_trees.push_back(t);
+      for (uint32_t vid : plan_.trees[t].view_ids) {
+        report->quarantined_views.push_back(vid);
+      }
+      report->notes.push_back("quarantined tree " + std::to_string(t) +
+                              ": " + main_failures[t].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
+    Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
+  CT_ASSIGN_OR_RETURN(auto forest,
+                      Create(std::move(options), pool, std::move(io_stats)));
+  CT_RETURN_NOT_OK(forest->LoadManifest(/*tolerant=*/false, nullptr));
+  return forest;
+}
+
+void CubetreeForest::QuarantineTree(size_t t, const Status& why,
+                                    ForestRecoveryReport* report) {
+  std::vector<std::string> paths = {TreePath(t, generations_[t])};
+  for (uint32_t g : delta_generations_[t]) paths.push_back(DeltaPath(t, g));
+  // Close before renaming so the buffer pool drops the file's pages.
+  trees_[t].reset();
+  delta_generations_[t].clear();
+  quarantined_[t] = true;
+  for (const std::string& path : paths) {
+    if (!FileExists(path)) continue;
+    std::string aside;
+    if (SetAsideQuarantined(path, &aside)) {
+      quarantine_files_[t].push_back(aside);
+    }
+  }
+  if (report != nullptr) {
+    report->quarantined_trees.push_back(t);
+    for (uint32_t vid : plan_.trees[t].view_ids) {
+      report->quarantined_views.push_back(vid);
+    }
+    report->notes.push_back("quarantined tree " + std::to_string(t) + ": " +
+                            why.ToString());
+  }
+}
+
+void CubetreeForest::RemoveOrphan(const std::string& path,
+                                  ForestRecoveryReport* report) {
+  if (FaultInjector::AnyArmed()) {
+    FaultOutcome outcome = FaultInjector::Instance().Check("forest.recover.gc");
+    if (outcome.fail) {
+      CT_LOG(Warn) << "forest: recovery GC skipped " << path << ": "
+                   << outcome.ToStatus().ToString();
+      return;
+    }
+  }
+  Status removed = RemoveFileIfExists(path);
+  if (!removed.ok()) {
+    CT_LOG(Warn) << "forest: recovery GC: " << removed.ToString();
+    return;
+  }
+  if (report != nullptr) report->removed_orphans.push_back(path);
+}
+
+Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Recover(
+    Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats,
+    ForestRecoveryReport* report, RecoverOptions recover) {
+  CT_ASSIGN_OR_RETURN(auto forest,
+                      Create(std::move(options), pool, std::move(io_stats)));
+  ForestRecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+
+  // 1. Refresh journal: replay it (tolerantly — the crash may have torn
+  // its tail) to learn whether a refresh was in flight, then retire it.
+  // The journal is advisory; correctness rests on the atomic manifest swap
+  // plus the directory sweep below.
+  const std::string journal = forest->JournalPath();
+  if (FileExists(journal)) {
+    report->journal_found = true;
+    bool saw_commit = false;
+    auto replayed = WriteAheadLog::ReplayTolerant(
+        journal, [&saw_commit](const char* data, size_t size) {
+          if (std::string_view(data, size) == "commit") saw_commit = true;
+        });
+    if (replayed.ok()) {
+      report->journal_records = replayed->records;
+      report->refresh_in_flight = !saw_commit;
+      if (replayed->torn) {
+        report->notes.push_back(
+            "refresh journal had a torn tail (" +
+            std::to_string(replayed->torn_bytes) + " bytes discarded)");
+      }
+    } else {
+      report->refresh_in_flight = true;
+      report->notes.push_back("refresh journal unreadable: " +
+                              replayed.status().ToString());
+    }
+    forest->RemoveOrphan(journal, report);
+  }
+
+  // 2. Load the manifest, quarantining any tree that will not open.
+  CT_RETURN_NOT_OK(forest->LoadManifest(/*tolerant=*/true, report));
+
+  // 3. Deep-check the trees that did open; quarantine the ones that fail
+  // their invariants (a torn page write can leave an openable but
+  // inconsistent file).
+  if (recover.deep_check) {
+    for (size_t t = 0; t < forest->trees_.size(); ++t) {
+      if (forest->trees_[t] == nullptr) continue;
+      std::vector<std::string> paths = {
+          forest->TreePath(t, forest->generations_[t])};
+      for (uint32_t g : forest->delta_generations_[t]) {
+        paths.push_back(forest->DeltaPath(t, g));
+      }
+      Status verdict;
+      for (const std::string& path : paths) {
+        RTreeChecker checker(path, CheckOptions{/*deep=*/true},
+                             forest->ArityFn());
+        CheckReport check_report;
+        verdict = checker.Run(&check_report);
+        if (verdict.ok() && !check_report.clean()) {
+          verdict = Status::Corruption("invariant check failed for " + path);
+        }
+        if (!verdict.ok()) break;
+      }
+      if (!verdict.ok()) forest->QuarantineTree(t, verdict, report);
+    }
+  }
+
+  // 4. Sweep the directory: any tree-generation file of this forest the
+  // manifest does not reference is the debris of an interrupted refresh
+  // (either the half-built next generation or the un-reclaimed previous
+  // one) — as is a stale manifest tmp. ".quarantine" files are kept for
+  // RebuildQuarantined.
+  std::set<std::string> live;
+  for (size_t t = 0; t < forest->trees_.size(); ++t) {
+    if (forest->trees_[t] == nullptr) continue;
+    live.insert(forest->TreePath(t, forest->generations_[t]));
+    for (uint32_t g : forest->delta_generations_[t]) {
+      live.insert(forest->DeltaPath(t, g));
+    }
+  }
+  DIR* dir = ::opendir(forest->options_.dir.c_str());
+  if (dir == nullptr) {
+    return Status::IOError("opendir " + forest->options_.dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::string> orphans;
+  const std::string& name = forest->options_.name;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string file = entry->d_name;
+    if (!file.starts_with(name)) continue;
+    const std::string path = forest->options_.dir + "/" + file;
+    const bool tree_file =
+        file.starts_with(name + "_t") && file.ends_with(".ctr");
+    const bool stale_tmp = file == name + ".manifest.tmp";
+    const bool stale_journal = file == name + ".refresh.wal";
+    if ((tree_file && live.find(path) == live.end()) || stale_tmp ||
+        stale_journal) {
+      orphans.push_back(path);
+    }
+  }
+  ::closedir(dir);
+  std::sort(orphans.begin(), orphans.end());  // deterministic GC order
+  for (const std::string& path : orphans) {
+    forest->RemoveOrphan(path, report);
   }
   return forest;
 }
@@ -265,6 +551,8 @@ Status CubetreeForest::Build(const std::vector<ViewDef>& views,
   generations_.assign(plan_.trees.size(), 0);
   delta_generations_.assign(plan_.trees.size(), {});
   next_delta_generation_.assign(plan_.trees.size(), 0);
+  quarantined_.assign(plan_.trees.size(), false);
+  quarantine_files_.assign(plan_.trees.size(), {});
 
   for (size_t t = 0; t < plan_.trees.size(); ++t) {
     std::vector<MultiViewPointSource::ViewStream> streams;
@@ -323,10 +611,12 @@ class ChainedMergeSource {
 
 }  // namespace
 
-Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
-  if (trees_.empty()) {
-    return Status::InvalidArgument("forest: not built yet");
-  }
+Status CubetreeForest::BuildNextGenerations(
+    ViewDataProvider* delta_provider, std::vector<uint32_t>* generations,
+    std::vector<std::unique_ptr<PackedRTree>>* new_trees) {
+  generations->assign(trees_.size(), 0);
+  new_trees->clear();
+  new_trees->resize(trees_.size());
   for (size_t t = 0; t < trees_.size(); ++t) {
     CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
 
@@ -344,27 +634,113 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
     ChainedMergeSource chain(inputs, dims);
 
     const uint32_t new_generation = generations_[t] + 1;
-    const std::string old_path = trees_[t]->rtree()->path();
     RTreeOptions tree_options = options_.rtree;
     tree_options.dims = dims;
     CT_ASSIGN_OR_RETURN(
-        auto rtree,
+        (*new_trees)[t],
         PackedRTree::Build(TreePath(t, new_generation), tree_options, pool_,
                            chain.head(), ArityFn(), io_stats_));
-    std::vector<std::string> retired = {old_path};
+    (*generations)[t] = new_generation;
+    CT_FAULT("forest.refresh.build");
+  }
+  return Status::OK();
+}
+
+Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
+  if (trees_.empty()) {
+    return Status::InvalidArgument("forest: not built yet");
+  }
+  if (HasQuarantine()) {
+    return Status::Unavailable(
+        "forest: quarantined trees must be rebuilt before a refresh");
+  }
+
+  // Advisory journal: records that a refresh started (and whether it
+  // committed), so recovery can report an interrupted refresh. Correctness
+  // does not depend on it — the atomic manifest swap and the recovery
+  // sweep carry that.
+  CT_ASSIGN_OR_RETURN(auto journal,
+                      WriteAheadLog::Create(JournalPath(), io_stats_));
+  static constexpr char kBeginRecord[] = "begin";
+  static constexpr char kCommitRecord[] = "commit";
+  CT_FAULT("forest.journal.append");
+  CT_RETURN_NOT_OK(journal->LogRecord(kBeginRecord, sizeof(kBeginRecord) - 1));
+  CT_RETURN_NOT_OK(journal->Force());
+  CT_FAULT("forest.refresh.begin");
+
+  // Phase 1: merge-pack every tree's next generation beside the current
+  // files. The live trees keep serving queries; nothing is mutated yet.
+  std::vector<uint32_t> new_generations;
+  std::vector<std::unique_ptr<PackedRTree>> new_trees;
+  Status phase =
+      BuildNextGenerations(delta_provider, &new_generations, &new_trees);
+
+  // Phase 2: the durable manifest swap — the commit point.
+  if (phase.ok()) {
+    phase = SaveManifestDurable(
+        new_generations, std::vector<std::vector<uint32_t>>(trees_.size()));
+  }
+  if (!phase.ok()) {
+    // Clean abort: delete whatever phase 1 managed to build (including a
+    // partial file from a failed build) and leave the live state alone.
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      const std::string path = TreePath(t, generations_[t] + 1);
+      if (t < new_trees.size()) new_trees[t].reset();
+      Status removed = RemoveFileIfExists(path);
+      if (!removed.ok()) {
+        CT_LOG(Warn) << "forest: refresh abort: " << removed.ToString();
+      }
+    }
+    journal.reset();
+    Status removed = RemoveFileIfExists(JournalPath());
+    if (!removed.ok()) {
+      CT_LOG(Warn) << "forest: refresh abort: " << removed.ToString();
+    }
+    return phase;
+  }
+
+  // Phase 3: the manifest now names the new generation — install it in
+  // memory. No fallible operation sits between the rename and this block,
+  // so an injected error cannot desync memory from disk.
+  std::vector<std::string> retired;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    retired.push_back(trees_[t]->rtree()->path());
     for (auto& old_delta : trees_[t]->TakeDeltas()) {
       retired.push_back(old_delta->path());
       old_delta.reset();
     }
+    trees_[t]->ReplaceTree(std::move(new_trees[t]));
     delta_generations_[t].clear();
-    trees_[t]->ReplaceTree(std::move(rtree));
-    generations_[t] = new_generation;
-    // Manifest first, then reclaim old generations: a crash in between
-    // only leaks files, never loses a consistent forest.
-    CT_RETURN_NOT_OK(SaveManifest());
-    for (const std::string& path : retired) {
-      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  }
+  generations_ = std::move(new_generations);
+  CT_FAULT("forest.refresh.commit");
+
+  // Mark the journal committed, then reclaim the retired generation. Every
+  // failure past the commit point only leaks files for recovery to sweep.
+  Status logged = journal->LogRecord(kCommitRecord, sizeof(kCommitRecord) - 1);
+  if (logged.ok()) logged = journal->Force();
+  if (!logged.ok()) {
+    CT_LOG(Warn) << "forest: refresh journal: " << logged.ToString();
+  }
+  journal.reset();
+  for (const std::string& path : retired) {
+    if (FaultInjector::AnyArmed()) {
+      FaultOutcome outcome =
+          FaultInjector::Instance().Check("forest.refresh.gc");
+      if (outcome.fail) {
+        CT_LOG(Warn) << "forest: refresh GC skipped " << path << ": "
+                     << outcome.ToStatus().ToString();
+        continue;
+      }
     }
+    Status removed = RemoveFileIfExists(path);
+    if (!removed.ok()) {
+      CT_LOG(Warn) << "forest: refresh GC: " << removed.ToString();
+    }
+  }
+  Status removed = RemoveFileIfExists(JournalPath());
+  if (!removed.ok()) {
+    CT_LOG(Warn) << "forest: refresh journal removal: " << removed.ToString();
   }
   return Status::OK();
 }
@@ -373,26 +749,70 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
   if (trees_.empty()) {
     return Status::InvalidArgument("forest: not built yet");
   }
-  for (size_t t = 0; t < trees_.size(); ++t) {
-    CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
-    const uint32_t generation = next_delta_generation_[t]++;
-    RTreeOptions tree_options = options_.rtree;
-    tree_options.dims = plan_.trees[t].dims;
-    CT_ASSIGN_OR_RETURN(
-        auto delta_tree,
-        PackedRTree::Build(DeltaPath(t, generation), tree_options, pool_,
-                           delta.get(), ArityFn(), io_stats_));
-    if (delta_tree->num_points() == 0) {
-      // Nothing in this tree's increment; drop the empty file.
-      const std::string path = delta_tree->path();
-      delta_tree.reset();
-      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
-      continue;
-    }
-    trees_[t]->AddDelta(std::move(delta_tree));
-    delta_generations_[t].push_back(generation);
+  if (HasQuarantine()) {
+    return Status::Unavailable(
+        "forest: quarantined trees must be rebuilt before a refresh");
   }
-  return SaveManifest();
+  // Phase 1: pack each tree's increment into a delta tree file.
+  std::vector<std::unique_ptr<PackedRTree>> built(trees_.size());
+  std::vector<int64_t> built_generations(trees_.size(), -1);
+  auto build_all = [&]() -> Status {
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
+      const uint32_t generation = next_delta_generation_[t]++;
+      RTreeOptions tree_options = options_.rtree;
+      tree_options.dims = plan_.trees[t].dims;
+      CT_ASSIGN_OR_RETURN(
+          auto delta_tree,
+          PackedRTree::Build(DeltaPath(t, generation), tree_options, pool_,
+                             delta.get(), ArityFn(), io_stats_));
+      if (delta_tree->num_points() == 0) {
+        // Nothing in this tree's increment; drop the empty file.
+        const std::string path = delta_tree->path();
+        delta_tree.reset();
+        CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+        continue;
+      }
+      built[t] = std::move(delta_tree);
+      built_generations[t] = generation;
+    }
+    return Status::OK();
+  };
+  Status phase = build_all();
+
+  // Phase 2: commit the new delta list durably.
+  if (phase.ok()) {
+    std::vector<std::vector<uint32_t>> next_deltas = delta_generations_;
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      if (built_generations[t] >= 0) {
+        next_deltas[t].push_back(static_cast<uint32_t>(built_generations[t]));
+      }
+    }
+    phase = SaveManifestDurable(generations_, next_deltas);
+  }
+  if (!phase.ok()) {
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      if (built_generations[t] < 0) continue;
+      const std::string path =
+          DeltaPath(t, static_cast<uint32_t>(built_generations[t]));
+      built[t].reset();
+      Status removed = RemoveFileIfExists(path);
+      if (!removed.ok()) {
+        CT_LOG(Warn) << "forest: partial-refresh abort: "
+                     << removed.ToString();
+      }
+    }
+    return phase;
+  }
+
+  // Phase 3: attach in memory (infallible).
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (built_generations[t] < 0) continue;
+    trees_[t]->AddDelta(std::move(built[t]));
+    delta_generations_[t].push_back(
+        static_cast<uint32_t>(built_generations[t]));
+  }
+  return Status::OK();
 }
 
 Status CubetreeForest::Compact() {
@@ -410,9 +830,113 @@ Status CubetreeForest::Compact() {
   return ApplyDelta(&empty);
 }
 
+Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
+  if (!HasQuarantine()) return Status::OK();
+  std::vector<size_t> targets;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (quarantined_[t]) targets.push_back(t);
+  }
+  // Phase 1: bulk-build a fresh generation of each quarantined tree from
+  // the full view contents the provider supplies.
+  std::vector<std::unique_ptr<PackedRTree>> built(trees_.size());
+  std::vector<uint32_t> new_generations = generations_;
+  auto build_all = [&]() -> Status {
+    for (size_t t : targets) {
+      std::vector<MultiViewPointSource::ViewStream> streams;
+      for (const ViewDef* view : TreeViewsAscArity(t)) {
+        CT_ASSIGN_OR_RETURN(auto stream, provider->OpenViewStream(*view));
+        streams.push_back({*view, std::move(stream)});
+      }
+      MultiViewPointSource source(std::move(streams));
+      RTreeOptions tree_options = options_.rtree;
+      tree_options.dims = plan_.trees[t].dims;
+      const uint32_t generation = generations_[t] + 1;
+      CT_ASSIGN_OR_RETURN(
+          built[t],
+          PackedRTree::Build(TreePath(t, generation), tree_options, pool_,
+                             &source, ArityFn(), io_stats_));
+      new_generations[t] = generation;
+    }
+    return Status::OK();
+  };
+  Status phase = build_all();
+  if (phase.ok()) {
+    phase = SaveManifestDurable(new_generations, delta_generations_);
+  }
+  if (!phase.ok()) {
+    for (size_t t : targets) {
+      const std::string path = TreePath(t, generations_[t] + 1);
+      built[t].reset();
+      Status removed = RemoveFileIfExists(path);
+      if (!removed.ok()) {
+        CT_LOG(Warn) << "forest: rebuild abort: " << removed.ToString();
+      }
+    }
+    return phase;
+  }
+  for (size_t t : targets) {
+    std::vector<ViewDef> tree_views;
+    for (uint32_t vid : plan_.trees[t].view_ids) {
+      tree_views.push_back(views_by_id_.at(vid));
+    }
+    trees_[t] =
+        std::make_unique<Cubetree>(std::move(tree_views), std::move(built[t]));
+    quarantined_[t] = false;
+  }
+  generations_ = std::move(new_generations);
+  // The rebuilt trees supersede the quarantined files.
+  for (size_t t : targets) {
+    for (const std::string& path : quarantine_files_[t]) {
+      Status removed = RemoveFileIfExists(path);
+      if (!removed.ok()) {
+        CT_LOG(Warn) << "forest: quarantine cleanup: " << removed.ToString();
+      }
+    }
+    quarantine_files_[t].clear();
+  }
+  return Status::OK();
+}
+
+bool CubetreeForest::IsViewQuarantined(uint32_t view_id) const {
+  auto it = plan_.view_to_tree.find(view_id);
+  if (it == plan_.view_to_tree.end()) return false;
+  return it->second < quarantined_.size() && quarantined_[it->second];
+}
+
+size_t CubetreeForest::NumQuarantinedTrees() const {
+  size_t total = 0;
+  for (bool q : quarantined_) total += q ? 1 : 0;
+  return total;
+}
+
+Result<std::map<uint32_t, uint64_t>> CubetreeForest::CountPointsPerView() {
+  std::map<uint32_t, uint64_t> counts;
+  for (const ViewDef& v : views_) counts[v.id] = 0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t] == nullptr) continue;
+    auto scan_tree = [&counts](PackedRTree* rtree) -> Status {
+      ScannerPointSource source(rtree);
+      const PointRecord* record = nullptr;
+      while (true) {
+        CT_RETURN_NOT_OK(source.Next(&record));
+        if (record == nullptr) break;
+        ++counts[record->view_id];
+      }
+      return Status::OK();
+    };
+    CT_RETURN_NOT_OK(scan_tree(trees_[t]->rtree()));
+    for (size_t d = 0; d < trees_[t]->num_deltas(); ++d) {
+      CT_RETURN_NOT_OK(scan_tree(trees_[t]->delta(d)));
+    }
+  }
+  return counts;
+}
+
 size_t CubetreeForest::TotalDeltas() const {
   size_t total = 0;
-  for (const auto& tree : trees_) total += tree->num_deltas();
+  for (const auto& tree : trees_) {
+    if (tree) total += tree->num_deltas();
+  }
   return total;
 }
 
@@ -420,6 +944,10 @@ Result<Cubetree*> CubetreeForest::TreeForView(uint32_t view_id) {
   auto it = plan_.view_to_tree.find(view_id);
   if (it == plan_.view_to_tree.end()) {
     return Status::NotFound("forest: view not materialized");
+  }
+  if (it->second < quarantined_.size() && quarantined_[it->second]) {
+    return Status::Unavailable("forest: view " + std::to_string(view_id) +
+                               " is quarantined awaiting rebuild");
   }
   return trees_[it->second].get();
 }
@@ -434,18 +962,23 @@ Result<const ViewDef*> CubetreeForest::view(uint32_t view_id) const {
 
 uint64_t CubetreeForest::TotalSizeBytes() const {
   uint64_t total = 0;
-  for (const auto& tree : trees_) total += tree->TotalSizeBytes();
+  for (const auto& tree : trees_) {
+    if (tree) total += tree->TotalSizeBytes();
+  }
   return total;
 }
 
 uint64_t CubetreeForest::TotalPoints() const {
   uint64_t total = 0;
-  for (const auto& tree : trees_) total += tree->TotalPoints();
+  for (const auto& tree : trees_) {
+    if (tree) total += tree->TotalPoints();
+  }
   return total;
 }
 
 Status CubetreeForest::Destroy() {
   for (auto& tree : trees_) {
+    if (!tree) continue;
     std::vector<std::string> paths = {tree->rtree()->path()};
     for (size_t d = 0; d < tree->num_deltas(); ++d) {
       paths.push_back(tree->delta(d)->path());
@@ -456,6 +989,15 @@ Status CubetreeForest::Destroy() {
     }
   }
   trees_.clear();
+  for (const auto& files : quarantine_files_) {
+    for (const std::string& path : files) {
+      CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+    }
+  }
+  quarantine_files_.clear();
+  quarantined_.clear();
+  CT_RETURN_NOT_OK(RemoveFileIfExists(ManifestPath() + ".tmp"));
+  CT_RETURN_NOT_OK(RemoveFileIfExists(JournalPath()));
   return RemoveFileIfExists(ManifestPath());
 }
 

@@ -16,6 +16,35 @@
 
 namespace cubetree {
 
+/// What CubetreeForest::Recover found and did. Informational: recovery
+/// itself either succeeds (possibly with quarantined trees) or returns an
+/// error for genuinely unreadable state (e.g. a corrupt manifest).
+struct ForestRecoveryReport {
+  /// A refresh journal was present on disk (a refresh was interrupted).
+  bool journal_found = false;
+  /// The journal recorded a refresh begin without a matching commit.
+  bool refresh_in_flight = false;
+  uint64_t journal_records = 0;
+  /// Files recovery deleted: stale manifest tmp, tree generations no
+  /// manifest references, leftover journal.
+  std::vector<std::string> removed_orphans;
+  /// Indices of trees recovery had to take out of service (unopenable or
+  /// failed their invariant check); their files were renamed aside with a
+  /// ".quarantine" suffix. The forest stays queryable on the remaining
+  /// trees; RebuildQuarantined() restores the rest from base data.
+  std::vector<size_t> quarantined_trees;
+  /// The views those trees materialized (unavailable until rebuilt).
+  std::vector<uint32_t> quarantined_views;
+  /// Human-readable log of notable recovery events.
+  std::vector<std::string> notes;
+
+  bool clean() const {
+    return !journal_found && removed_orphans.empty() &&
+           quarantined_trees.empty();
+  }
+  std::string ToString() const;
+};
+
 /// A forest of Cubetrees materializing a set of ROLAP views — the complete
 /// storage organization the paper proposes. The forest plans view placement
 /// with SelectMapping, bulk-builds each tree from sorted per-view aggregate
@@ -54,9 +83,36 @@ class CubetreeForest {
   /// directory (the manifest records views, plan and tree generations; the
   /// manifest is replaced atomically after every change, so a crash during
   /// merge-pack leaves the previous generation intact and reopenable).
+  /// Strict: any unopenable tree file is an error. After an unclean
+  /// shutdown use Recover() instead.
   static Result<std::unique_ptr<CubetreeForest>> Open(
       Options options, BufferPool* pool,
       std::shared_ptr<IoStats> io_stats = nullptr);
+
+  struct RecoverOptions {
+    /// Run the deep R-tree invariant checker over every tree after opening
+    /// and quarantine any tree that fails. Turning this off skips the full
+    /// file scan and only quarantines trees that fail to open.
+    /// (Initialized in the constructor, not inline: an inline initializer
+    /// may not be used in a default argument inside the enclosing class.)
+    bool deep_check;
+    RecoverOptions() : deep_check(true) {}
+  };
+
+  /// Crash-recovery variant of Open. Replays and retires the refresh
+  /// journal, removes the stale manifest tmp and any tree-generation files
+  /// the manifest does not reference (the half-built output of an
+  /// interrupted refresh, or the un-reclaimed input of a committed one),
+  /// and quarantines trees that cannot be opened or fail their invariant
+  /// check — renaming their files aside with a ".quarantine" suffix so the
+  /// forest stays queryable on the surviving trees. Recovery is
+  /// idempotent: crashing inside Recover and running it again converges to
+  /// the same state. Only a missing or corrupt manifest is an error.
+  static Result<std::unique_ptr<CubetreeForest>> Recover(
+      Options options, BufferPool* pool,
+      std::shared_ptr<IoStats> io_stats = nullptr,
+      ForestRecoveryReport* report = nullptr,
+      RecoverOptions recover = RecoverOptions());
 
   /// Plans placement and bulk-builds every tree. Call once.
   Status Build(const std::vector<ViewDef>& views, ViewDataProvider* provider);
@@ -77,11 +133,28 @@ class CubetreeForest {
   /// tree and retires the delta files.
   Status Compact();
 
+  /// Rebuilds every quarantined tree from scratch: `provider` must supply
+  /// the full current contents of each affected view (base data, not a
+  /// delta). New generations are built beside the quarantined files, the
+  /// manifest is swapped durably, and the ".quarantine" files are removed.
+  Status RebuildQuarantined(ViewDataProvider* provider);
+
+  /// True if the tree materializing `view_id` is quarantined (queries
+  /// against it return Unavailable until RebuildQuarantined runs).
+  bool IsViewQuarantined(uint32_t view_id) const;
+  size_t NumQuarantinedTrees() const;
+  bool HasQuarantine() const { return NumQuarantinedTrees() > 0; }
+
+  /// Stored points per view id, from a full scan of every healthy tree
+  /// (main + deltas). Used to re-derive router statistics after recovery.
+  Result<std::map<uint32_t, uint64_t>> CountPointsPerView();
+
   /// Pending delta trees across the forest.
   size_t TotalDeltas() const;
 
   const ForestPlan& plan() const { return plan_; }
   size_t num_trees() const { return trees_.size(); }
+  /// nullptr when tree `i` is quarantined.
   Cubetree* tree(size_t i) { return trees_[i].get(); }
 
   Result<Cubetree*> TreeForView(uint32_t view_id);
@@ -107,7 +180,35 @@ class CubetreeForest {
   std::string TreePath(size_t tree_index, uint32_t generation) const;
   std::string DeltaPath(size_t tree_index, uint32_t generation) const;
   std::string ManifestPath() const;
+  std::string JournalPath() const;
+  /// Serializes the manifest for the given generation vectors (state is
+  /// passed in, not read from members, so the commit protocol can write
+  /// the next state before mutating the in-memory one).
+  std::string SerializeManifest(
+      const std::vector<uint32_t>& generations,
+      const std::vector<std::vector<uint32_t>>& delta_generations) const;
+  /// Durable manifest swap: write tmp, fsync it, rename into place, fsync
+  /// the directory. Once the rename has happened the commit is in effect;
+  /// later failures are logged, not returned.
+  Status SaveManifestDurable(
+      const std::vector<uint32_t>& generations,
+      const std::vector<std::vector<uint32_t>>& delta_generations) const;
   Status SaveManifest() const;
+  /// Parses the manifest and opens every tree. In tolerant mode an
+  /// unopenable tree is quarantined instead of failing the load.
+  Status LoadManifest(bool tolerant, ForestRecoveryReport* report);
+  /// Takes tree `t` out of service: closes it, renames its files aside
+  /// with a ".quarantine" suffix, and records the event.
+  void QuarantineTree(size_t t, const Status& why,
+                      ForestRecoveryReport* report);
+  /// Phase 1 of ApplyDelta: merge-pack every tree's next generation beside
+  /// the current files, without touching any live state.
+  Status BuildNextGenerations(
+      ViewDataProvider* delta_provider, std::vector<uint32_t>* generations,
+      std::vector<std::unique_ptr<PackedRTree>>* new_trees);
+  /// Deletes files recovery identified as orphans, consulting the
+  /// forest.recover.gc failpoint per file.
+  void RemoveOrphan(const std::string& path, ForestRecoveryReport* report);
   /// Builds the pack-ordered point source over one tree's delta streams.
   Result<std::unique_ptr<PointSource>> MakeDeltaSource(
       size_t tree_index, ViewDataProvider* provider);
@@ -126,6 +227,11 @@ class CubetreeForest {
   /// Per tree: the generation numbers of its pending delta trees.
   std::vector<std::vector<uint32_t>> delta_generations_;
   std::vector<uint32_t> next_delta_generation_;
+  /// Per tree: out of service after recovery found it unreadable. A
+  /// quarantined slot holds nullptr in trees_.
+  std::vector<bool> quarantined_;
+  /// Per tree: the ".quarantine" files to delete once the tree is rebuilt.
+  std::vector<std::vector<std::string>> quarantine_files_;
 };
 
 }  // namespace cubetree

@@ -14,6 +14,35 @@ Result<std::unique_ptr<CubetreeEngine>> CubetreeEngine::Create(
       new CubetreeEngine(schema, std::move(options), pool));
 }
 
+Result<std::unique_ptr<CubetreeEngine>> CubetreeEngine::Recover(
+    const CubeSchema& schema, Options options, BufferPool* pool,
+    ForestRecoveryReport* report) {
+  CT_ASSIGN_OR_RETURN(auto engine, Create(schema, std::move(options), pool));
+  CubetreeForest::Options forest_options;
+  forest_options.dir = engine->options_.dir;
+  forest_options.name = engine->options_.name;
+  forest_options.rtree = engine->options_.rtree;
+  forest_options.one_tree_per_view = engine->options_.one_tree_per_view;
+  CT_ASSIGN_OR_RETURN(
+      engine->forest_,
+      CubetreeForest::Recover(forest_options, engine->pool_,
+                              engine->options_.io_stats, report));
+  // Row counts were derived from the spools at load time; after a crash
+  // the spools are gone, so re-derive them from the trees themselves.
+  CT_ASSIGN_OR_RETURN(engine->view_rows_,
+                      engine->forest_->CountPointsPerView());
+  return engine;
+}
+
+Status CubetreeEngine::RebuildQuarantined(ComputedViews* data) {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  CT_RETURN_NOT_OK(forest_->RebuildQuarantined(data));
+  CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
+  return Status::OK();
+}
+
 Status CubetreeEngine::Load(const std::vector<ViewDef>& views,
                             ComputedViews* data) {
   CubetreeForest::Options forest_options;
@@ -98,6 +127,9 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   double best_cost = 0;
   for (const ViewDef& view : forest_->views()) {
     if (!view.Covers(query.node_mask)) continue;
+    // Graceful degradation after recovery: a quarantined view is out of
+    // service, but a covering superset view (or replica) can still answer.
+    if (forest_->IsViewQuarantined(view.id)) continue;
     auto it = view_rows_.find(view.id);
     const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
     const double cost = EstimateCost(view, query, rows);

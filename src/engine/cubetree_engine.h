@@ -33,6 +33,20 @@ class CubetreeEngine : public ViewStore {
   static Result<std::unique_ptr<CubetreeEngine>> Create(
       const CubeSchema& schema, Options options, BufferPool* pool);
 
+  /// Reopens a persisted forest after an unclean shutdown via
+  /// CubetreeForest::Recover and re-derives the router's per-view row
+  /// counts by scanning the surviving trees. Views whose tree was
+  /// quarantined are skipped by the router (queries fall back to a
+  /// covering superset view when one survives) until RebuildQuarantined
+  /// restores them.
+  static Result<std::unique_ptr<CubetreeEngine>> Recover(
+      const CubeSchema& schema, Options options, BufferPool* pool,
+      ForestRecoveryReport* report = nullptr);
+
+  /// Rebuilds every quarantined tree from recomputed view contents (the
+  /// same spool set Load consumes) and refreshes the router statistics.
+  Status RebuildQuarantined(ComputedViews* data);
+
   /// Plans and bulk-builds the forest from the computed view spools.
   /// `views` must include any replicas, and `data` must have spools for all
   /// of them.

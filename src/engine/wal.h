@@ -48,6 +48,12 @@ class WriteAheadLog {
     /// CRC-32C over the concatenation of all payloads, in order; two
     /// replays of the same log must agree (replay idempotence).
     uint32_t digest = 0;
+    /// Tolerant replay only: true when the log ended in a torn record
+    /// (crash mid-append). The records counted above are the longest valid
+    /// prefix; `torn_bytes` is the length of the discarded tail, measured
+    /// from the start of the first invalid record.
+    bool torn = false;
+    uint64_t torn_bytes = 0;
   };
 
   /// Reads the log at `path` front to back, verifying record framing and
@@ -57,6 +63,19 @@ class WriteAheadLog {
   /// buffered but never Force()d are not replayed, matching the commit
   /// semantics of the writer.
   static Result<ReplayStats> Replay(
+      const std::string& path,
+      const std::function<void(const char* data, size_t size)>& apply =
+          nullptr,
+      std::shared_ptr<IoStats> io_stats = nullptr);
+
+  /// Crash-recovery variant of Replay: recovers the longest valid prefix
+  /// of the log and never reports torn framing as an error. A ragged file
+  /// tail (crash mid-append left a non-page-aligned file) is read
+  /// zero-padded, so records written fully before the cut are still
+  /// replayed; the first invalid record (truncated payload, CRC mismatch,
+  /// nonzero padding) ends the replay cleanly with `torn` set in the
+  /// stats. Real I/O errors still propagate.
+  static Result<ReplayStats> ReplayTolerant(
       const std::string& path,
       const std::function<void(const char* data, size_t size)>& apply =
           nullptr,

@@ -178,6 +178,35 @@ Result<LoadReport> Warehouse::LoadCubetrees() {
   return report;
 }
 
+Result<PhaseReport> Warehouse::RecoverCubetrees(uint32_t increments_applied,
+                                                ForestRecoveryReport* report) {
+  ForestRecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+  IoStats before = *cbt_io_;
+  Timer timer;
+  CubetreeEngine::Options engine_options;
+  engine_options.dir = options_.dir;
+  engine_options.name = "cbt";
+  engine_options.io_stats = cbt_io_;
+  CT_ASSIGN_OR_RETURN(cubetree_,
+                      CubetreeEngine::Recover(schema_, engine_options,
+                                              cbt_pool_.get(), report));
+  if (cubetree_->forest()->HasQuarantine()) {
+    // Rebuild the lost views from base data: recompute their contents over
+    // everything the forest had absorbed before the crash.
+    auto facts = increments_applied == 0
+                     ? generator_->BaseFacts()
+                     : generator_->FactsThroughIncrement(
+                           options_.increment_fraction, increments_applied);
+    CT_ASSIGN_OR_RETURN(auto data, Compute(cubetree_views_, facts.get(),
+                                           "cbt_rebuild", cbt_io_));
+    CT_RETURN_NOT_OK(cubetree_->RebuildQuarantined(data.get()));
+    CT_RETURN_NOT_OK(data->Destroy());
+  }
+  return FinishPhase("cubetree recovery", timer.ElapsedSeconds(), before,
+                     cbt_io_);
+}
+
 Result<PhaseReport> Warehouse::UpdateConventionalIncremental(
     uint32_t increment) {
   if (conventional_ == nullptr) {

@@ -103,6 +103,15 @@ class Warehouse {
   /// Loads the Cubetree configuration (sort + compute + pack in one phase).
   Result<LoadReport> LoadCubetrees();
 
+  /// Reopens a previously persisted Cubetree configuration after an
+  /// unclean shutdown (crash-consistent recovery instead of a fresh
+  /// load). Quarantined trees are rebuilt from base data recomputed over
+  /// base plus the first `increments_applied` increments — the state the
+  /// forest held before the crash.
+  Result<PhaseReport> RecoverCubetrees(uint32_t increments_applied = 0,
+                                       ForestRecoveryReport* report =
+                                           nullptr);
+
   /// Table 7 row 1: per-tuple incremental maintenance of the relational
   /// views (maintenance indices are built beforehand and not charged).
   Result<PhaseReport> UpdateConventionalIncremental(uint32_t increment);

@@ -1,0 +1,166 @@
+#ifndef CUBETREE_FAULT_FAULT_INJECTOR_H_
+#define CUBETREE_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cubetree {
+
+/// Thrown by a failpoint armed with the `throw` action: an in-process,
+/// catchable stand-in for a crash. The library itself never catches it, so
+/// it unwinds out of whatever refresh/load was running — exactly like a
+/// crash from the storage layer's point of view — while letting a test
+/// reopen and recover the store in the same process (fork-free, and clean
+/// under the sanitizers).
+class SimulatedCrash : public std::exception {
+ public:
+  explicit SimulatedCrash(std::string failpoint)
+      : failpoint_(std::move(failpoint)),
+        message_("simulated crash at failpoint " + failpoint_) {}
+
+  const char* what() const noexcept override { return message_.c_str(); }
+  const std::string& failpoint() const { return failpoint_; }
+
+ private:
+  std::string failpoint_;
+  std::string message_;
+};
+
+/// What an armed failpoint does once its trigger condition is met.
+enum class FaultAction : int {
+  /// Return an injected IOError from the instrumented call.
+  kError,
+  /// Torn page write: the storage layer persists only a prefix of the page
+  /// before returning an injected IOError — the user-space analog of a
+  /// power loss in the middle of a sector write.
+  kTorn,
+  /// Exit the process immediately (_Exit, no unwinding, no flushing) with
+  /// FaultInjector::kCrashExitCode. Pair with a fork-based driver.
+  kCrash,
+  /// Throw SimulatedCrash (recoverable, in-process crash).
+  kThrow,
+};
+
+/// When and how often a failpoint fires.
+struct FaultSpec {
+  FaultAction action = FaultAction::kError;
+  /// 1-based hit index on which the fault first triggers, counted from the
+  /// moment the failpoint was armed (default: first hit).
+  uint32_t trigger_on_hit = 1;
+  /// Number of times the fault triggers before auto-disarming; 0 means
+  /// forever. `error(2)` — a transient error — sets this to 2, so the
+  /// bounded retry loops on the read path can succeed on a later attempt.
+  uint32_t max_triggers = 0;
+};
+
+/// Outcome of consulting one failpoint. Crash/throw actions never produce
+/// an outcome — they do not return.
+struct FaultOutcome {
+  bool fail = false;
+  bool torn = false;
+  std::string failpoint;
+
+  /// OK, or the injected IOError for this failpoint.
+  Status ToStatus() const;
+};
+
+/// Process-wide registry of named failpoints. Every instrumented call site
+/// consults its failpoint through the CT_FAULT macro; with nothing armed
+/// the cost is one relaxed atomic load. Failpoints are armed through the
+/// API or the CUBETREE_FAILPOINTS environment variable, parsed on first
+/// use:
+///
+///   CUBETREE_FAILPOINTS='forest.manifest.rename=crash;storage.page.read=error(2)'
+///
+/// Spec grammar per failpoint: ACTION[(MAX_TRIGGERS)][@TRIGGER_ON_HIT]
+/// with ACTION one of error | torn | crash | throw. Examples:
+///   error        every hit fails
+///   error(2)     transient: the first two hits fail, later hits succeed
+///   torn         half a page is persisted, then an IOError is returned
+///   crash        _Exit(43) on the first hit
+///   crash@3      _Exit(43) on the third hit
+///   throw        throw SimulatedCrash on the first hit
+///
+/// Single-threaded by design, like the rest of the library.
+class FaultInjector {
+ public:
+  /// Exit code of a kCrash action — distinguishable from real failures in
+  /// fork-based harnesses.
+  static constexpr int kCrashExitCode = 43;
+
+  static FaultInjector& Instance();
+
+  /// Fast path for the CT_FAULT macro: true when at least one failpoint is
+  /// armed anywhere in the process.
+  static bool AnyArmed() {
+    return armed_count().load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms `failpoint` with `spec`. The name must be registered.
+  Status Arm(const std::string& failpoint, FaultSpec spec);
+  /// Arms from the textual spec grammar above, e.g. Arm("wal.force",
+  /// "error(2)").
+  Status Arm(const std::string& failpoint, const std::string& spec);
+  void Disarm(const std::string& failpoint);
+  void DisarmAll();
+
+  /// Parses and arms a full CUBETREE_FAILPOINTS-style config string
+  /// ("name=spec;name=spec", ',' also accepted as a separator).
+  Status ParseAndArm(const std::string& config);
+
+  /// Consults one failpoint: bumps its hit counter and returns the action
+  /// to apply now. kCrash exits the process; kThrow throws SimulatedCrash;
+  /// kError/kTorn are reported through the outcome for the caller to
+  /// translate (torn writes need storage-layer cooperation).
+  FaultOutcome Check(const char* failpoint);
+
+  /// Check() collapsed to a Status for call sites with nothing to tear.
+  Status MaybeFail(const char* failpoint) { return Check(failpoint).ToStatus(); }
+
+  /// Times `failpoint` was consulted while any failpoint was armed.
+  uint64_t HitCount(const std::string& failpoint) const;
+
+  struct PointInfo {
+    const char* name;
+    const char* description;
+  };
+  /// Catalog of every registered failpoint (stable order). The crash
+  /// harness enumerates this; ctfsck --failpoints prints it.
+  static const std::vector<PointInfo>& RegisteredPoints();
+  static bool IsRegistered(const std::string& failpoint);
+
+ private:
+  FaultInjector() = default;
+  static std::atomic<int>& armed_count();
+
+  struct Armed {
+    FaultSpec spec;
+    /// Hits since arming — the basis for trigger_on_hit, so `crash@3`
+    /// means "the third time this operation runs after arming" regardless
+    /// of how often it ran before.
+    uint64_t hits = 0;
+    uint32_t triggered = 0;
+  };
+
+  std::map<std::string, Armed> armed_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+/// Consults a failpoint and propagates an injected error to the caller.
+/// Near-zero cost when nothing is armed. Crash/throw actions never return.
+#define CT_FAULT(name)                                                   \
+  do {                                                                   \
+    if (::cubetree::FaultInjector::AnyArmed()) {                         \
+      CT_RETURN_NOT_OK(::cubetree::FaultInjector::Instance().MaybeFail(name)); \
+    }                                                                    \
+  } while (0)
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_FAULT_FAULT_INJECTOR_H_

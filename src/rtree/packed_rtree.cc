@@ -7,6 +7,7 @@
 #include "common/assert.h"
 
 #include "common/coding.h"
+#include "fault/fault_injector.h"
 #include "rtree/node.h"
 
 namespace cubetree {
@@ -56,6 +57,7 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
   if (options.dims == 0 || options.dims > kMaxDims) {
     return Status::InvalidArgument("rtree: dims out of range");
   }
+  CT_FAULT("rtree.build.start");
   CT_RETURN_NOT_OK(RemoveFileIfExists(path));
   CT_ASSIGN_OR_RETURN(auto file,
                       PageManager::Create(path, std::move(io_stats)));
@@ -147,6 +149,8 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
     Page meta;
     WriteMetaPage(&meta, options, kInvalidPageId, 0, 0, 0);
     CT_RETURN_NOT_OK(pm->WritePage(0, meta));
+    CT_FAULT("rtree.build.sync");
+    CT_RETURN_NOT_OK(pm->Sync());
     return tree;
   }
 
@@ -189,6 +193,11 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
   WriteMetaPage(&meta, options, tree->root_, tree->height_, num_points,
                 tree->num_leaf_pages_);
   CT_RETURN_NOT_OK(pm->WritePage(0, meta));
+  // Make the fresh tree durable before the forest manifest can name it:
+  // the manifest commit protocol assumes every file it references has
+  // already reached stable storage.
+  CT_FAULT("rtree.build.sync");
+  CT_RETURN_NOT_OK(pm->Sync());
   return tree;
 }
 

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "fault/fault_injector.h"
 #include "sort/loser_tree.h"
 
 namespace cubetree {
@@ -140,6 +141,7 @@ void ExternalSorter::SortBuffer() {
 }
 
 Status ExternalSorter::SpillRun() {
+  CT_FAULT("sort.spill");
   SortBuffer();
   const size_t rs = options_.record_size;
   const size_t per_page = kPageSize / rs;
@@ -168,6 +170,7 @@ Status ExternalSorter::SpillRun() {
 }
 
 Status ExternalSorter::MergeRunRange(size_t begin, size_t end) {
+  CT_FAULT("sort.merge");
   std::vector<RunReader> readers;
   uint64_t total = 0;
   for (size_t i = begin; i < end; ++i) {
@@ -224,6 +227,7 @@ Status ExternalSorter::ReduceRuns() {
 }
 
 Result<std::unique_ptr<RecordStream>> ExternalSorter::Finish() {
+  CT_FAULT("sort.finish");
   if (finished_) return Status::Internal("ExternalSorter: double Finish");
   finished_ = true;
   if (runs_.empty()) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fault/fault_injector.h"
+
 namespace cubetree {
 
 RecordSpool::RecordSpool(std::unique_ptr<PageManager> file,
@@ -39,6 +41,7 @@ Status RecordSpool::Append(const char* record) {
 }
 
 Status RecordSpool::Seal() {
+  CT_FAULT("spool.seal");
   if (sealed_) return Status::OK();
   if (in_tail_ > 0) {
     CT_RETURN_NOT_OK(file_->AppendPage(tail_).status());

@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 
 #include "common/assert.h"
+#include "fault/fault_injector.h"
 
 namespace cubetree {
 
@@ -18,7 +19,76 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + std::strerror(errno));
 }
 
+// Read-path retry policy (see PageManager::SetReadRetryPolicy). Transient
+// I/O errors — injected ones, or real hiccups of a loaded device — are
+// retried a bounded number of times with exponential backoff before the
+// error is surfaced, so a multi-hour load does not abort on a blip.
+int g_read_retry_attempts = 4;
+int g_read_retry_backoff_us = 100;
+
+void BackoffBeforeRetry(int attempt) {
+  if (g_read_retry_backoff_us <= 0) return;
+  // attempt is 1-based: 1 -> base, 2 -> 2x base, 3 -> 4x base, ...
+  ::usleep(static_cast<useconds_t>(g_read_retry_backoff_us) << (attempt - 1));
+}
+
 }  // namespace
+
+Status PwriteFully(int fd, const void* buf, size_t count, off_t offset,
+                   const std::string& context) {
+  const char* cursor = static_cast<const char*>(buf);
+  size_t left = count;
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd, cursor, left, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // A signal is not a disk failure.
+      return ErrnoStatus(context);
+    }
+    // A short write is not an error from the kernel's point of view;
+    // keep writing the remainder rather than failing a multi-hour load.
+    cursor += n;
+    offset += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PreadFully(int fd, void* buf, size_t count, off_t offset,
+                  const std::string& context) {
+  char* cursor = static_cast<char*>(buf);
+  size_t left = count;
+  while (left > 0) {
+    const ssize_t n = ::pread(fd, cursor, left, offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(context);
+    }
+    if (n == 0) {
+      return Status::Corruption("short read from " + context);
+    }
+    cursor += n;
+    offset += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const std::string& context) {
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync " + context);
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  Status status = SyncFd(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
 
 PageManager::PageManager(std::string path, int fd, PageId num_pages,
                          std::shared_ptr<IoStats> stats)
@@ -33,8 +103,14 @@ PageManager::~PageManager() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void PageManager::SetReadRetryPolicy(int max_attempts, int base_backoff_us) {
+  g_read_retry_attempts = max_attempts < 1 ? 1 : max_attempts;
+  g_read_retry_backoff_us = base_backoff_us < 0 ? 0 : base_backoff_us;
+}
+
 Result<std::unique_ptr<PageManager>> PageManager::Create(
     const std::string& path, std::shared_ptr<IoStats> stats) {
+  CT_FAULT("storage.page.create");
   int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("create " + path);
   return std::unique_ptr<PageManager>(
@@ -43,8 +119,13 @@ Result<std::unique_ptr<PageManager>> PageManager::Create(
 
 Result<std::unique_ptr<PageManager>> PageManager::Open(
     const std::string& path, std::shared_ptr<IoStats> stats) {
+  CT_FAULT("storage.page.open");
   int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) return ErrnoStatus("open " + path);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("open " + path +
+                                              ": no such file")
+                           : ErrnoStatus("open " + path);
+  }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
@@ -56,6 +137,30 @@ Result<std::unique_ptr<PageManager>> PageManager::Open(
                               " size is not page-aligned");
   }
   PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<PageManager>(
+      new PageManager(path, fd, pages, std::move(stats)));
+}
+
+Result<std::unique_ptr<PageManager>> PageManager::OpenPrefix(
+    const std::string& path, std::shared_ptr<IoStats> stats,
+    uint64_t* trailing_bytes) {
+  CT_FAULT("storage.page.open");
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("open " + path +
+                                              ": no such file")
+                           : ErrnoStatus("open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("stat " + path);
+  }
+  PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  if (trailing_bytes != nullptr) {
+    *trailing_bytes = static_cast<uint64_t>(st.st_size) -
+                      static_cast<uint64_t>(pages) * kPageSize;
+  }
   return std::unique_ptr<PageManager>(
       new PageManager(path, fd, pages, std::move(stats)));
 }
@@ -85,55 +190,73 @@ Result<PageId> PageManager::AllocatePage() {
   return AppendPage(zero);
 }
 
+Status PageManager::ReadPageOnce(PageId id, Page* page) {
+  CT_FAULT("storage.page.read");
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  return PreadFully(fd_, page->data, kPageSize, offset, "pread " + path_);
+}
+
 Status PageManager::ReadPage(PageId id, Page* page) {
   CT_DCHECK(page != nullptr);
   CT_DCHECK(fd_ >= 0) << "page file " << path_ << " not open";
   if (id >= num_pages_) {
     return Status::InvalidArgument("read past end of page file " + path_);
   }
-  const off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pread(fd_, page->data, kPageSize, offset);
-  if (n < 0) return ErrnoStatus("pread " + path_);
-  if (static_cast<size_t>(n) != kPageSize) {
-    return Status::Corruption("short read from " + path_);
+  Status status;
+  for (int attempt = 1; attempt <= g_read_retry_attempts; ++attempt) {
+    if (attempt > 1) BackoffBeforeRetry(attempt - 1);
+    status = ReadPageOnce(id, page);
+    // Retry only transient-looking I/O errors; Corruption (short read,
+    // torn file) will not heal by itself.
+    if (status.ok() || !status.IsIOError()) break;
   }
+  if (!status.ok()) return status;
   RecordRead(id);
   return Status::OK();
+}
+
+Status PageManager::WritePageAt(PageId id, const Page& page,
+                                const char* failpoint) {
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  if (FaultInjector::AnyArmed()) {
+    FaultOutcome outcome = FaultInjector::Instance().Check(failpoint);
+    if (outcome.torn) {
+      // Persist a prefix of the page, then report failure: the user-space
+      // analog of a power cut mid-sector-write. Downstream readers must
+      // treat the tail as garbage.
+      (void)PwriteFully(fd_, page.data, kPageSize / 3, offset,
+                        "torn pwrite " + path_);
+      return outcome.ToStatus();
+    }
+    if (outcome.fail) return outcome.ToStatus();
+  }
+  return PwriteFully(fd_, page.data, kPageSize, offset, "pwrite " + path_);
 }
 
 Status PageManager::WritePage(PageId id, const Page& page) {
   if (id >= num_pages_) {
     return Status::InvalidArgument("write past end of page file " + path_);
   }
-  const off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
-  if (n < 0) return ErrnoStatus("pwrite " + path_);
-  if (static_cast<size_t>(n) != kPageSize) {
-    return Status::IOError("short write to " + path_);
-  }
+  CT_RETURN_NOT_OK(WritePageAt(id, page, "storage.page.write"));
   RecordWrite(id);
   return Status::OK();
 }
 
 Result<PageId> PageManager::AppendPage(const Page& page) {
   const PageId id = num_pages_;
-  const off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
-  if (n < 0) return ErrnoStatus("append " + path_);
-  if (static_cast<size_t>(n) != kPageSize) {
-    return Status::IOError("short append to " + path_);
-  }
+  CT_RETURN_NOT_OK(WritePageAt(id, page, "storage.page.append"));
   ++num_pages_;
   RecordWrite(id);
   return id;
 }
 
 Status PageManager::Sync() {
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_);
-  return Status::OK();
+  CT_FAULT("storage.page.sync");
+  return SyncFd(fd_, path_);
 }
 
 Status RemoveFileIfExists(const std::string& path) {
+  CT_FAULT("storage.file.remove");
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return ErrnoStatus("unlink " + path);
   }

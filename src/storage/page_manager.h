@@ -1,6 +1,9 @@
 #ifndef CUBETREE_STORAGE_PAGE_MANAGER_H_
 #define CUBETREE_STORAGE_PAGE_MANAGER_H_
 
+#include <sys/types.h>
+
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -30,6 +33,22 @@ class PageManager {
   /// Opens an existing page file. Fails if the size is not page-aligned.
   static Result<std::unique_ptr<PageManager>> Open(
       const std::string& path, std::shared_ptr<IoStats> stats = nullptr);
+
+  /// Opens an existing page file tolerantly: a non-page-aligned size (the
+  /// aftermath of a crash mid-append) is not an error. Only the whole-page
+  /// prefix is visible through NumPages(); the length of the ragged tail is
+  /// reported through `trailing_bytes` (may be nullptr). Used by tolerant
+  /// WAL replay during recovery.
+  static Result<std::unique_ptr<PageManager>> OpenPrefix(
+      const std::string& path, std::shared_ptr<IoStats> stats,
+      uint64_t* trailing_bytes);
+
+  /// Configures the bounded retry loop on the read path (process-wide).
+  /// A transient IOError from pread — injected or real — is retried up to
+  /// `max_attempts` times total, sleeping `base_backoff_us` microseconds
+  /// before the first retry and doubling each attempt. Tests set the
+  /// backoff to 0 to keep fault sweeps fast. Defaults: 4 attempts, 100us.
+  static void SetReadRetryPolicy(int max_attempts, int base_backoff_us);
 
   ~PageManager();
 
@@ -64,6 +83,8 @@ class PageManager {
   PageManager(std::string path, int fd, PageId num_pages,
               std::shared_ptr<IoStats> stats);
 
+  Status ReadPageOnce(PageId id, Page* page);
+  Status WritePageAt(PageId id, const Page& page, const char* failpoint);
   void RecordRead(PageId id);
   void RecordWrite(PageId id);
 
@@ -79,6 +100,25 @@ class PageManager {
 /// Deletes the file at `path` if it exists. Used by tests and benches to
 /// reset workspaces.
 Status RemoveFileIfExists(const std::string& path);
+
+/// pwrite(2) the full buffer at `offset`, looping over short writes and
+/// retrying EINTR. `context` labels errors (usually the file path).
+Status PwriteFully(int fd, const void* buf, size_t count, off_t offset,
+                   const std::string& context);
+
+/// pread(2) the full buffer at `offset`, looping over short reads and
+/// retrying EINTR. Hitting EOF before `count` bytes is Corruption.
+Status PreadFully(int fd, void* buf, size_t count, off_t offset,
+                  const std::string& context);
+
+/// fsync(2) with a Status result; `context` labels errors.
+Status SyncFd(int fd, const std::string& context);
+
+/// Opens and fsyncs a directory, making preceding renames/creates/unlinks
+/// within it durable. Required between the steps of an atomic-rename commit.
+Status SyncDir(const std::string& dir);
+
+bool FileExists(const std::string& path);
 
 }  // namespace cubetree
 

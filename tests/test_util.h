@@ -32,8 +32,21 @@ namespace cubetree {
   lhs = std::move(tmp).value()
 
 /// Per-test scratch directory under the build tree, wiped on creation.
+/// The running test's suite.name is folded into the path: fixtures pass a
+/// constant name from SetUp, and with `ctest -j` every test is its own
+/// process in a shared working directory — two tests of one suite must
+/// not wipe each other's directory mid-run.
 inline std::string MakeTestDir(const std::string& name) {
-  const std::string dir = "./ct_test_" + name;
+  std::string dir = "./ct_test_" + name;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    std::string suffix =
+        std::string("_") + info->test_suite_name() + "." + info->name();
+    for (char& c : suffix) {
+      if (c == '/') c = '_';  // Parameterized test names contain '/'.
+    }
+    dir += suffix;
+  }
   std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
   if (std::system(cmd.c_str()) != 0) {
     ADD_FAILURE() << "failed to create test dir " << dir;
