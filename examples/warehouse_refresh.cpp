@@ -10,11 +10,24 @@
 // half-built files are reclaimed, and the dashboard queries run against
 // whichever generation the crash left committed.
 //
-// Build & run:  ./build/examples/warehouse_refresh [scale_factor]
+// With --online, the dashboard does not wait for the nightly window:
+// reader threads keep querying (each under a 50 ms deadline) while every
+// merge-pack runs. Each query pins one committed forest generation, so it
+// sees entirely-pre- or entirely-post-refresh data — never a mix — and
+// the files of replaced generations are reclaimed only after the last
+// query pinning them finishes.
+//
+// Build & run:  ./build/examples/warehouse_refresh [scale_factor] [--online]
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
 
+#include "common/query_context.h"
 #include "common/timer.h"
 #include "engine/warehouse.h"
 #include "storage/page_manager.h"
@@ -61,11 +74,91 @@ int RecoverAndQuery(Warehouse* warehouse) {
   return 0;
 }
 
+/// --online: a week of refreshes with the dashboard never pausing. Reader
+/// threads execute deadlined queries continuously; each night's
+/// merge-pack commits a new generation underneath them.
+int OnlineWeek(Warehouse* warehouse) {
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> missed_deadline{0};
+  std::atomic<uint64_t> failed{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      SliceQueryGenerator gen = warehouse->MakeQueryGenerator(1000 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        SliceQuery query = gen.UniformOverLattice(
+            warehouse->lattice(), /*exclude_unbound=*/true,
+            /*skip_none_node=*/true);
+        QueryContext ctx =
+            QueryContext::WithTimeout(std::chrono::milliseconds(50));
+        auto result = warehouse->cubetrees()->Execute(query, nullptr, &ctx);
+        if (result.ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.status().IsDeadlineExceeded()) {
+          missed_deadline.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  int exit_code = 0;
+  for (uint32_t day = 0; day < 7 && exit_code == 0; ++day) {
+    const uint64_t before = answered.load(std::memory_order_relaxed);
+    auto update = warehouse->UpdateCubetrees(day);
+    if (!update.ok()) {
+      std::fprintf(stderr, "day %u: %s\n", day,
+                   update.status().ToString().c_str());
+      exit_code = 1;
+      break;
+    }
+    const ForestGcStats gc = warehouse->cubetrees()->forest()->GcStats();
+    std::printf(
+        "day %u: merge-pack %.3fs wall with %llu dashboard queries served "
+        "during it; generation %llu live, %llu retired file(s) awaiting "
+        "readers, %llu reclaimed so far\n",
+        day + 1, update->wall_seconds,
+        static_cast<unsigned long long>(
+            answered.load(std::memory_order_relaxed) - before),
+        static_cast<unsigned long long>(gc.live_epoch),
+        static_cast<unsigned long long>(gc.unreclaimed_files),
+        static_cast<unsigned long long>(gc.reclaimed_files));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  const ForestGcStats gc = warehouse->cubetrees()->forest()->GcStats();
+  std::printf(
+      "\nonline week done: %llu queries answered, %llu missed their 50ms "
+      "deadline, %llu failed; %llu generation file(s) reclaimed, %llu still "
+      "pinned\n",
+      static_cast<unsigned long long>(answered.load()),
+      static_cast<unsigned long long>(missed_deadline.load()),
+      static_cast<unsigned long long>(failed.load()),
+      static_cast<unsigned long long>(gc.reclaimed_files),
+      static_cast<unsigned long long>(gc.unreclaimed_files));
+  return failed.load() == 0 ? exit_code : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   WarehouseOptions options;
-  options.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.02;
+  bool online = false;
+  double scale_factor = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--online") == 0) {
+      online = true;
+    } else {
+      scale_factor = std::atof(argv[i]);
+    }
+  }
+  options.scale_factor = scale_factor;
   options.dir = "warehouse_refresh_data";
   options.increment_fraction = 0.02;  // Daily 2% instead of the bench 10%.
   const bool resume = FileExists(options.dir + "/cbt.manifest");
@@ -101,33 +194,38 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   warehouse->cubetrees()->forest()->TotalPoints()));
 
-  SliceQueryGenerator gen = warehouse->MakeQueryGenerator(99);
-  for (uint32_t day = 0; day < 7; ++day) {
-    auto update = warehouse->UpdateCubetrees(day);
-    if (!update.ok()) {
-      std::fprintf(stderr, "day %u: %s\n", day,
-                   update.status().ToString().c_str());
-      return 1;
+  if (online) {
+    const int rc = OnlineWeek(warehouse.get());
+    if (rc != 0) return rc;
+  } else {
+    SliceQueryGenerator gen = warehouse->MakeQueryGenerator(99);
+    for (uint32_t day = 0; day < 7; ++day) {
+      auto update = warehouse->UpdateCubetrees(day);
+      if (!update.ok()) {
+        std::fprintf(stderr, "day %u: %s\n", day,
+                     update.status().ToString().c_str());
+        return 1;
+      }
+      // Morning dashboard: a few slices over the fresh data.
+      Timer timer;
+      uint64_t rows = 0;
+      for (int q = 0; q < 25; ++q) {
+        SliceQuery query = gen.UniformOverLattice(
+            warehouse->lattice(), /*exclude_unbound=*/true,
+            /*skip_none_node=*/true);
+        auto result = warehouse->cubetrees()->Execute(query, nullptr);
+        if (!result.ok()) return 1;
+        rows += result->rows.size();
+      }
+      std::printf("day %u: merge-pack %.3fs wall (%llu seq / %llu rand "
+                  "page writes), 25 queries in %.3fs (%llu rows)\n",
+                  day + 1, update->wall_seconds,
+                  static_cast<unsigned long long>(
+                      update->io.sequential_writes),
+                  static_cast<unsigned long long>(update->io.random_writes),
+                  timer.ElapsedSeconds(),
+                  static_cast<unsigned long long>(rows));
     }
-    // Morning dashboard: a few slices over the fresh data.
-    Timer timer;
-    uint64_t rows = 0;
-    for (int q = 0; q < 25; ++q) {
-      SliceQuery query = gen.UniformOverLattice(
-          warehouse->lattice(), /*exclude_unbound=*/true,
-          /*skip_none_node=*/true);
-      auto result = warehouse->cubetrees()->Execute(query, nullptr);
-      if (!result.ok()) return 1;
-      rows += result->rows.size();
-    }
-    std::printf("day %u: merge-pack %.3fs wall (%llu seq / %llu rand page "
-                "writes), 25 queries in %.3fs (%llu rows)\n",
-                day + 1, update->wall_seconds,
-                static_cast<unsigned long long>(
-                    update->io.sequential_writes),
-                static_cast<unsigned long long>(update->io.random_writes),
-                timer.ElapsedSeconds(),
-                static_cast<unsigned long long>(rows));
   }
 
   std::printf("\nafter a week: forest = %.1f MiB, %llu points — no "

@@ -1,3 +1,5 @@
+#include <dirent.h>
+
 #include <map>
 #include <set>
 #include <utility>
@@ -152,6 +154,48 @@ Status ForestChecker::Run(CheckReport* report) {
                          std::to_string(scanned_total) + ", metadata " +
                          std::to_string(forest->TotalPoints()) + ")",
                      forest_ctx);
+  }
+
+  // --- Snapshot / GC state ----------------------------------------------
+  // The published generation and its file set, plus anything on disk the
+  // generation does not reference: retired files a crashed process never
+  // reclaimed (or mid-refresh temporaries). Recover sweeps those; here
+  // they are surfaced so an operator sees the pending work.
+  const ForestGcStats gc = forest->GcStats();
+  const std::vector<std::string> live_files = forest->LiveFiles();
+  report->AddInfo("forest", "snapshot-state",
+                  "live generation epoch " + std::to_string(gc.live_epoch) +
+                      ", " + std::to_string(gc.pinned_epochs) +
+                      " pinned retired generation(s), " +
+                      std::to_string(gc.unreclaimed_files) +
+                      " retired file(s) awaiting reclaim, " +
+                      std::to_string(live_files.size()) +
+                      " file(s) in the live set",
+                  forest_ctx);
+  std::set<std::string> live_names;
+  for (const std::string& path : live_files) {
+    const size_t slash = path.find_last_of('/');
+    live_names.insert(slash == std::string::npos ? path
+                                                 : path.substr(slash + 1));
+  }
+  const std::string file_prefix = impl_->forest_name + "_t";
+  if (DIR* d = ::opendir(impl_->dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.rfind(file_prefix, 0) != 0) continue;
+      if (name.size() < 4 || name.substr(name.size() - 4) != ".ctr") {
+        continue;  // .quarantine etc. — recovery's concern, not GC's.
+      }
+      if (live_names.count(name) == 0) {
+        report->AddWarning("forest", "unreferenced-file",
+                           name +
+                               " is not referenced by the live generation "
+                               "(unreclaimed retired file or crash orphan; "
+                               "Recover will sweep it)",
+                           impl_->dir + "/" + name);
+      }
+    }
+    ::closedir(d);
   }
 
   // --- Deep per-file validation -----------------------------------------

@@ -1,0 +1,54 @@
+#include "common/memory_budget.h"
+
+namespace cubetree {
+
+Status MemoryBudget::Exhausted(uint64_t requested, uint64_t used_now,
+                               const char* who) const {
+  // The hint scales with how over-subscribed the pool is: a nearly idle
+  // budget suggests an immediate retry, a saturated one backs callers off
+  // long enough for a sorter run or a batch of frames to drain.
+  const uint64_t pressure_pct =
+      capacity_ == 0 ? 100 : (used_now * 100) / capacity_;
+  const uint64_t retry_after_ms = 10 + pressure_pct;
+  return Status::ResourceExhausted(
+      "memory budget exhausted: " + std::string(who) + " requested " +
+      std::to_string(requested) + " bytes, " +
+      std::to_string(capacity_ - used_now) + " of " +
+      std::to_string(capacity_) + " available; retry-after-ms=" +
+      std::to_string(retry_after_ms));
+}
+
+Status MemoryBudget::TryReserve(uint64_t bytes, const char* who) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > capacity_ - used_) return Exhausted(bytes, used_, who);
+  used_ += bytes;
+  return Status::OK();
+}
+
+Result<uint64_t> MemoryBudget::ReserveUpTo(uint64_t min_bytes,
+                                           uint64_t want_bytes,
+                                           const char* who) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t free = capacity_ - used_;
+  if (free < min_bytes) return Exhausted(min_bytes, used_, who);
+  const uint64_t granted = want_bytes < free ? want_bytes : free;
+  used_ += granted;
+  return granted;
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+uint64_t MemoryBudget::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+uint64_t MemoryBudget::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - used_;
+}
+
+}  // namespace cubetree

@@ -1,0 +1,100 @@
+#ifndef CUBETREE_COMMON_MEMORY_BUDGET_H_
+#define CUBETREE_COMMON_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+
+/// Process-wide memory accounting shared by every component that sizes its
+/// working set at runtime — today the buffer pool (page frames) and the
+/// external sorter (in-memory run buffers). The budget never blocks and
+/// never over-commits: a reservation either succeeds immediately or the
+/// caller gets ResourceExhausted with a retry-after hint, so overload turns
+/// into graceful degradation (sorters spill earlier, queries are rejected
+/// retriably) instead of an OOM kill.
+///
+/// Thread-safe; all operations take one short mutex hold.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// All-or-nothing reservation. `who` names the component for the error
+  /// message. On denial returns ResourceExhausted (IsRetriable()).
+  Status TryReserve(uint64_t bytes, const char* who);
+
+  /// Best-effort reservation: grants min(want_bytes, available) as long as
+  /// at least `min_bytes` can be had, else ResourceExhausted. Lets the
+  /// sorter shrink its run buffer under pressure rather than fail.
+  Result<uint64_t> ReserveUpTo(uint64_t min_bytes, uint64_t want_bytes,
+                               const char* who);
+
+  /// Returns `bytes` to the pool. Releasing more than reserved is a bug;
+  /// the counter saturates at zero rather than wrapping.
+  void Release(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const;
+  uint64_t available() const;
+
+ private:
+  Status Exhausted(uint64_t requested, uint64_t used_now,
+                   const char* who) const;
+
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t used_ = 0;
+};
+
+/// RAII handle for a budget reservation; releases on destruction. Empty
+/// (default-constructed or moved-from) handles release nothing, so the
+/// budget pointer may be null throughout for unbudgeted configurations.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryBudget* budget, uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {}
+  ~MemoryReservation() { Reset(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  void Reset() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_MEMORY_BUDGET_H_

@@ -1,0 +1,17 @@
+#include "common/query_context.h"
+
+namespace cubetree {
+
+namespace {
+thread_local const QueryContext* t_current = nullptr;
+}  // namespace
+
+const QueryContext* QueryContext::Current() { return t_current; }
+
+QueryContext::Scope::Scope(const QueryContext* ctx) : previous_(t_current) {
+  t_current = ctx;
+}
+
+QueryContext::Scope::~Scope() { t_current = previous_; }
+
+}  // namespace cubetree

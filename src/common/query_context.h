@@ -1,0 +1,111 @@
+#ifndef CUBETREE_COMMON_QUERY_CONTEXT_H_
+#define CUBETREE_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace cubetree {
+
+/// Per-query session state: an optional wall-clock deadline plus a
+/// cancellation token another thread may trip at any time. A QueryContext is
+/// created by the caller of CubetreeEngine::Execute and consulted deep in
+/// the storage layer at page-read granularity, so a query over a cold
+/// multi-gigabyte tree aborts within one page read of its deadline instead
+/// of hanging until the scan completes.
+///
+/// Thread-safety: Cancel() and Check() may race freely (the token is one
+/// atomic). The object must outlive every operation running under it.
+///
+/// Propagation uses an ambient thread-local rather than threading a context
+/// parameter through every storage signature: the engine installs the
+/// context with a QueryContext::Scope for the duration of Execute, and
+/// BufferPool::Fetch / PageManager::ReadPage consult Current(). Code that
+/// runs without a scope (loads, refresh builds, tools) sees Current() ==
+/// nullptr and pays nothing but one thread-local load.
+class QueryContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline; cancellable only.
+  QueryContext() = default;
+
+  /// Movable so the WithTimeout/WithDeadline factories compose; moving a
+  /// context other threads already observe is a caller bug (the factories
+  /// move before the context is shared).
+  QueryContext(QueryContext&& other) noexcept
+      : deadline_(other.deadline_),
+        has_deadline_(other.has_deadline_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)) {}
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+  QueryContext& operator=(QueryContext&&) = delete;
+
+  /// Expires `timeout` from now. A zero or negative timeout is already
+  /// expired — useful in tests.
+  static QueryContext WithTimeout(std::chrono::nanoseconds timeout) {
+    QueryContext ctx;
+    ctx.deadline_ = Clock::now() + timeout;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  static QueryContext WithDeadline(Clock::time_point deadline) {
+    QueryContext ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  /// Trips the cancellation token. Safe from any thread; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// OK while the query may keep running; Cancelled or DeadlineExceeded
+  /// once it must stop. Cancellation wins ties: an explicit Cancel is the
+  /// caller's own verdict and reads better in logs than a coincidentally
+  /// expired deadline.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// The ambient context for this thread, or nullptr outside any Scope.
+  static const QueryContext* Current();
+
+  /// RAII installer for the ambient context. Nesting restores the previous
+  /// context on destruction, so a query running inside another query's
+  /// scope (not expected, but harmless) unwinds correctly.
+  class Scope {
+   public:
+    explicit Scope(const QueryContext* ctx);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const QueryContext* previous_;
+  };
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_COMMON_QUERY_CONTEXT_H_

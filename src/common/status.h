@@ -23,6 +23,10 @@ enum class StatusCode : int {
   /// The target exists but is temporarily out of service (e.g. a
   /// quarantined Cubetree awaiting rebuild) — retry after repair.
   kUnavailable = 9,
+  /// The caller abandoned the operation via its QueryContext token.
+  kCancelled = 10,
+  /// The operation's deadline expired before it completed.
+  kDeadlineExceeded = 11,
 };
 
 /// A Status is either OK (cheap, no allocation) or an error code plus a
@@ -65,6 +69,12 @@ class Status {
   static Status Unavailable(std::string_view msg) {
     return Status(StatusCode::kUnavailable, msg);
   }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -74,6 +84,24 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// True for failures a caller may reasonably retry as-is: transient I/O
+  /// errors, temporary unavailability (quarantine pending rebuild), and
+  /// resource exhaustion (admission queue full, memory budget denied). A
+  /// DeadlineExceeded or Cancelled status is the *caller's* verdict, not a
+  /// transient server condition, so it is deliberately not retriable here.
+  bool IsRetriable() const {
+    return code_ == StatusCode::kIOError ||
+           code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

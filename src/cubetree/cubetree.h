@@ -25,9 +25,17 @@ namespace cubetree {
 /// combine aggregates of coinciding points; a compaction merge-packs
 /// everything back into a single tree. This trades a little query work for
 /// a refresh window proportional to the increment, not the whole view set.
+///
+/// The packed trees are held through shared_ptr so that several forest
+/// generations can reference the same immutable tree file: a partial
+/// refresh publishes a new Cubetree sharing the old main tree plus one more
+/// delta, while snapshots pinned to the previous generation keep the old
+/// object alive. A built tree is immutable, so concurrent QueryBox calls
+/// from many threads are safe; the mutators (ReplaceTree/AddDelta/
+/// TakeDeltas) are reserved for construction before the tree is published.
 class Cubetree {
  public:
-  Cubetree(std::vector<ViewDef> views, std::unique_ptr<PackedRTree> tree)
+  Cubetree(std::vector<ViewDef> views, std::shared_ptr<PackedRTree> tree)
       : views_(std::move(views)), tree_(std::move(tree)) {}
 
   Cubetree(const Cubetree&) = delete;
@@ -36,23 +44,27 @@ class Cubetree {
   const std::vector<ViewDef>& views() const { return views_; }
   PackedRTree* rtree() { return tree_.get(); }
   const PackedRTree* rtree() const { return tree_.get(); }
+  const std::shared_ptr<PackedRTree>& shared_rtree() const { return tree_; }
   uint8_t dims() const { return tree_->dims(); }
 
   /// Replaces the packed tree (after a merge-pack produced a new file).
-  void ReplaceTree(std::unique_ptr<PackedRTree> tree) {
+  void ReplaceTree(std::shared_ptr<PackedRTree> tree) {
     tree_ = std::move(tree);
   }
 
   /// Attaches one more delta tree (most recent last).
-  void AddDelta(std::unique_ptr<PackedRTree> delta) {
+  void AddDelta(std::shared_ptr<PackedRTree> delta) {
     deltas_.push_back(std::move(delta));
   }
   size_t num_deltas() const { return deltas_.size(); }
   bool HasDeltas() const { return !deltas_.empty(); }
   PackedRTree* delta(size_t i) { return deltas_[i].get(); }
+  const std::vector<std::shared_ptr<PackedRTree>>& shared_deltas() const {
+    return deltas_;
+  }
   /// Drops all delta trees (after a compaction folded them into the main
   /// tree). Does not remove files.
-  std::vector<std::unique_ptr<PackedRTree>> TakeDeltas() {
+  std::vector<std::shared_ptr<PackedRTree>> TakeDeltas() {
     return std::move(deltas_);
   }
 
@@ -111,8 +123,8 @@ class Cubetree {
 
  private:
   std::vector<ViewDef> views_;
-  std::unique_ptr<PackedRTree> tree_;
-  std::vector<std::unique_ptr<PackedRTree>> deltas_;
+  std::shared_ptr<PackedRTree> tree_;
+  std::vector<std::shared_ptr<PackedRTree>> deltas_;
 };
 
 /// Adapts a pack-order leaf scan of an existing tree into a PointSource

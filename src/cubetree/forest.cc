@@ -82,6 +82,85 @@ bool SetAsideQuarantined(const std::string& path, std::string* aside) {
 
 }  // namespace
 
+namespace forest_internal {
+
+TrackedFile::TrackedFile(std::string path, std::shared_ptr<GcShared> gc)
+    : path_(std::move(path)), gc_(std::move(gc)) {}
+
+void TrackedFile::Retire() {
+  if (retired_.exchange(true, std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(gc_->mu);
+    ++gc_->unreclaimed_files;
+  }
+  // The GC failpoint is consulted here, at the retirement decision, rather
+  // than in the destructor: throw/crash actions must fire in a normal call
+  // context (inside the refresh), never during unwinding.
+  if (FaultInjector::AnyArmed()) {
+    FaultOutcome outcome = FaultInjector::Instance().Check("forest.refresh.gc");
+    if (outcome.fail) {
+      CT_LOG(Warn) << "forest: refresh GC skipped " << path_ << ": "
+                   << outcome.ToStatus().ToString();
+      // Leave the file for recovery's orphan sweep.
+      leaked_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+TrackedFile::~TrackedFile() {
+  // Unretired: the file is live and the forest is shutting down — keep it.
+  if (!retired_.load(std::memory_order_relaxed) ||
+      leaked_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Raw unlink, not RemoveFileIfExists: this destructor may run on a reader
+  // thread releasing the last snapshot, and must not throw (failpoints on
+  // the shared remove helper may).
+  if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
+    CT_LOG(Warn) << "forest: refresh GC: unlink " << path_ << ": "
+                 << std::strerror(errno);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(gc_->mu);
+  --gc_->unreclaimed_files;
+  ++gc_->reclaimed_files;
+}
+
+EpochState::~EpochState() {
+  if (gc == nullptr || !retired.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(gc->mu);
+  gc->pinned_retired_epochs.erase(epoch);
+}
+
+}  // namespace forest_internal
+
+bool ForestSnapshot::IsViewQuarantined(uint32_t view_id) const {
+  auto it = state_->view_to_tree.find(view_id);
+  if (it == state_->view_to_tree.end()) return false;
+  return it->second < state_->quarantined.size() &&
+         state_->quarantined[it->second];
+}
+
+Result<Cubetree*> ForestSnapshot::TreeForView(uint32_t view_id) const {
+  auto it = state_->view_to_tree.find(view_id);
+  if (it == state_->view_to_tree.end()) {
+    return Status::NotFound("forest: view not materialized");
+  }
+  if (state_->quarantined[it->second]) {
+    return Status::Unavailable("forest: view " + std::to_string(view_id) +
+                               " is quarantined awaiting rebuild");
+  }
+  return state_->trees[it->second].get();
+}
+
+uint64_t ForestSnapshot::TotalPoints() const {
+  uint64_t total = 0;
+  for (const auto& tree : state_->trees) {
+    if (tree) total += tree->TotalPoints();
+  }
+  return total;
+}
+
 std::string ForestRecoveryReport::ToString() const {
   std::ostringstream out;
   out << "recovery: journal="
@@ -264,7 +343,7 @@ Status CubetreeForest::LoadManifest(bool tolerant,
     generations_.push_back(generation);
     auto rtree = PackedRTree::Open(TreePath(t, generation), pool_, io_stats_);
     if (rtree.ok()) {
-      trees_.push_back(std::make_unique<Cubetree>(std::move(tree_views),
+      trees_.push_back(std::make_shared<Cubetree>(std::move(tree_views),
                                                   std::move(rtree).value()));
       main_failures.push_back(Status::OK());
     } else if (tolerant) {
@@ -336,6 +415,7 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
   CT_ASSIGN_OR_RETURN(auto forest,
                       Create(std::move(options), pool, std::move(io_stats)));
   CT_RETURN_NOT_OK(forest->LoadManifest(/*tolerant=*/false, nullptr));
+  forest->PublishState();
   return forest;
 }
 
@@ -485,6 +565,7 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Recover(
   for (const std::string& path : orphans) {
     forest->RemoveOrphan(path, report);
   }
+  forest->PublishState();
   return forest;
 }
 
@@ -572,9 +653,11 @@ Status CubetreeForest::Build(const std::vector<ViewDef>& views,
       tree_views.push_back(views_by_id_.at(vid));
     }
     trees_.push_back(
-        std::make_unique<Cubetree>(std::move(tree_views), std::move(rtree)));
+        std::make_shared<Cubetree>(std::move(tree_views), std::move(rtree)));
   }
-  return SaveManifest();
+  CT_RETURN_NOT_OK(SaveManifest());
+  PublishState();
+  return Status::OK();
 }
 
 Result<std::unique_ptr<PointSource>> CubetreeForest::MakeDeltaSource(
@@ -647,6 +730,7 @@ Status CubetreeForest::BuildNextGenerations(
 }
 
 Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
   if (trees_.empty()) {
     return Status::InvalidArgument("forest: not built yet");
   }
@@ -699,45 +783,34 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
     return phase;
   }
 
-  // Phase 3: the manifest now names the new generation — install it in
-  // memory. No fallible operation sits between the rename and this block,
-  // so an injected error cannot desync memory from disk.
-  std::vector<std::string> retired;
+  // Phase 3: the manifest now names the new generation — install fresh
+  // Cubetree objects and publish a new epoch. The previous epoch's objects
+  // are never mutated: readers pinned to it keep serving main + deltas of
+  // the old generation until their snapshots drop, at which point the
+  // retired files are reclaimed (PublishState arms the tokens).
   for (size_t t = 0; t < trees_.size(); ++t) {
-    retired.push_back(trees_[t]->rtree()->path());
-    for (auto& old_delta : trees_[t]->TakeDeltas()) {
-      retired.push_back(old_delta->path());
-      old_delta.reset();
+    std::vector<ViewDef> tree_views;
+    for (uint32_t vid : plan_.trees[t].view_ids) {
+      tree_views.push_back(views_by_id_.at(vid));
     }
-    trees_[t]->ReplaceTree(std::move(new_trees[t]));
+    trees_[t] = std::make_shared<Cubetree>(std::move(tree_views),
+                                           std::move(new_trees[t]));
     delta_generations_[t].clear();
   }
   generations_ = std::move(new_generations);
   CT_FAULT("forest.refresh.commit");
+  // Publishing retires the replaced generation's files; a crash between the
+  // manifest swap above and this point leaks them for recovery to sweep.
+  PublishState();
 
-  // Mark the journal committed, then reclaim the retired generation. Every
-  // failure past the commit point only leaks files for recovery to sweep.
+  // Mark the journal committed and retire it. Every failure past the commit
+  // point only leaks files for recovery to sweep.
   Status logged = journal->LogRecord(kCommitRecord, sizeof(kCommitRecord) - 1);
   if (logged.ok()) logged = journal->Force();
   if (!logged.ok()) {
     CT_LOG(Warn) << "forest: refresh journal: " << logged.ToString();
   }
   journal.reset();
-  for (const std::string& path : retired) {
-    if (FaultInjector::AnyArmed()) {
-      FaultOutcome outcome =
-          FaultInjector::Instance().Check("forest.refresh.gc");
-      if (outcome.fail) {
-        CT_LOG(Warn) << "forest: refresh GC skipped " << path << ": "
-                     << outcome.ToStatus().ToString();
-        continue;
-      }
-    }
-    Status removed = RemoveFileIfExists(path);
-    if (!removed.ok()) {
-      CT_LOG(Warn) << "forest: refresh GC: " << removed.ToString();
-    }
-  }
   Status removed = RemoveFileIfExists(JournalPath());
   if (!removed.ok()) {
     CT_LOG(Warn) << "forest: refresh journal removal: " << removed.ToString();
@@ -746,6 +819,7 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
 }
 
 Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
   if (trees_.empty()) {
     return Status::InvalidArgument("forest: not built yet");
   }
@@ -805,13 +879,26 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
     return phase;
   }
 
-  // Phase 3: attach in memory (infallible).
+  // Phase 3: attach in memory (infallible). A touched tree gets a fresh
+  // Cubetree sharing the old main and delta trees plus the new delta, so
+  // the previously published epoch stays exactly as it was.
   for (size_t t = 0; t < trees_.size(); ++t) {
     if (built_generations[t] < 0) continue;
-    trees_[t]->AddDelta(std::move(built[t]));
+    std::vector<ViewDef> tree_views;
+    for (uint32_t vid : plan_.trees[t].view_ids) {
+      tree_views.push_back(views_by_id_.at(vid));
+    }
+    auto next_tree = std::make_shared<Cubetree>(std::move(tree_views),
+                                                trees_[t]->shared_rtree());
+    for (const auto& old_delta : trees_[t]->shared_deltas()) {
+      next_tree->AddDelta(old_delta);
+    }
+    next_tree->AddDelta(std::move(built[t]));
+    trees_[t] = std::move(next_tree);
     delta_generations_[t].push_back(
         static_cast<uint32_t>(built_generations[t]));
   }
+  PublishState();
   return Status::OK();
 }
 
@@ -831,6 +918,7 @@ Status CubetreeForest::Compact() {
 }
 
 Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
   if (!HasQuarantine()) return Status::OK();
   std::vector<size_t> targets;
   for (size_t t = 0; t < trees_.size(); ++t) {
@@ -880,11 +968,12 @@ Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
       tree_views.push_back(views_by_id_.at(vid));
     }
     trees_[t] =
-        std::make_unique<Cubetree>(std::move(tree_views), std::move(built[t]));
+        std::make_shared<Cubetree>(std::move(tree_views), std::move(built[t]));
     quarantined_[t] = false;
   }
   generations_ = std::move(new_generations);
-  // The rebuilt trees supersede the quarantined files.
+  // Quarantined slots were nullptr in every published epoch, so the
+  // ".quarantine" files are not epoch-tracked; remove them directly.
   for (size_t t : targets) {
     for (const std::string& path : quarantine_files_[t]) {
       Status removed = RemoveFileIfExists(path);
@@ -894,6 +983,7 @@ Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
     }
     quarantine_files_[t].clear();
   }
+  PublishState();
   return Status::OK();
 }
 
@@ -976,7 +1066,84 @@ uint64_t CubetreeForest::TotalPoints() const {
   return total;
 }
 
+void CubetreeForest::PublishState() {
+  using forest_internal::EpochState;
+  using forest_internal::TrackedFile;
+  std::shared_ptr<EpochState> old = published_.load(std::memory_order_acquire);
+  auto next = std::make_shared<EpochState>();
+  next->epoch = next_epoch_++;
+  next->gc = gc_;
+  next->view_to_tree = plan_.view_to_tree;
+  next->quarantined = quarantined_;
+  next->trees = trees_;
+  // File-reclamation tokens: carry over the token of every file still live
+  // (so one file has one token across all epochs that reference it), mint
+  // tokens for new files.
+  std::map<std::string, std::shared_ptr<TrackedFile>> old_tokens;
+  if (old != nullptr) {
+    for (const auto& file : old->files) old_tokens[file->path()] = file;
+  }
+  std::set<std::string> live_paths;
+  for (const auto& tree : trees_) {
+    if (tree == nullptr) continue;
+    live_paths.insert(tree->rtree()->path());
+    for (const auto& delta : tree->shared_deltas()) {
+      live_paths.insert(delta->path());
+    }
+  }
+  for (const std::string& path : live_paths) {
+    auto it = old_tokens.find(path);
+    next->files.push_back(it != old_tokens.end()
+                              ? it->second
+                              : std::make_shared<TrackedFile>(path, gc_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gc_->mu);
+    gc_->live_epoch = next->epoch;
+    if (old != nullptr) gc_->pinned_retired_epochs.insert(old->epoch);
+  }
+  if (old != nullptr) old->retired.store(true, std::memory_order_relaxed);
+  published_.store(std::move(next), std::memory_order_release);
+  // Retire files the new generation dropped — after the swap, so a
+  // throw/crash injected at the GC failpoint leaves the commit published
+  // (files then leak to recovery, exactly as a crash between commit and GC
+  // always has).
+  if (old != nullptr) {
+    for (const auto& file : old->files) {
+      if (live_paths.find(file->path()) == live_paths.end()) file->Retire();
+    }
+  }
+}
+
+ForestSnapshot CubetreeForest::AcquireSnapshot() const {
+  return ForestSnapshot(published_.load(std::memory_order_acquire));
+}
+
+ForestGcStats CubetreeForest::GcStats() const {
+  std::lock_guard<std::mutex> lock(gc_->mu);
+  ForestGcStats stats;
+  stats.live_epoch = gc_->live_epoch;
+  stats.pinned_epochs = gc_->pinned_retired_epochs.size();
+  stats.unreclaimed_files = gc_->unreclaimed_files;
+  stats.reclaimed_files = gc_->reclaimed_files;
+  return stats;
+}
+
+std::vector<std::string> CubetreeForest::LiveFiles() const {
+  std::vector<std::string> paths;
+  auto state = published_.load(std::memory_order_acquire);
+  if (state == nullptr) return paths;
+  paths.reserve(state->files.size());
+  for (const auto& file : state->files) paths.push_back(file->path());
+  return paths;
+}
+
 Status CubetreeForest::Destroy() {
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  // Drop the published epoch first (snapshots must already be released per
+  // the API contract); its tokens are unretired, so this deletes nothing —
+  // the explicit removal below does.
+  published_.store(nullptr, std::memory_order_release);
   for (auto& tree : trees_) {
     if (!tree) continue;
     std::vector<std::string> paths = {tree->rtree()->path()};

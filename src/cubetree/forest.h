@@ -1,8 +1,12 @@
 #ifndef CUBETREE_CUBETREE_FOREST_H_
 #define CUBETREE_CUBETREE_FOREST_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +19,114 @@
 #include "storage/buffer_pool.h"
 
 namespace cubetree {
+
+/// In-process garbage-collection state of the snapshot layer, for ops
+/// tooling (ctfsck --json) and the stress harness.
+struct ForestGcStats {
+  /// Epoch number of the currently published (serving) generation.
+  uint64_t live_epoch = 0;
+  /// Retired epochs still alive because a snapshot pins them.
+  uint64_t pinned_epochs = 0;
+  /// Retired tree files whose unlink is deferred until the last pinning
+  /// epoch dies (or was skipped by a GC failpoint / unlink error; recovery
+  /// sweeps those as orphans).
+  uint64_t unreclaimed_files = 0;
+  /// Retired tree files unlinked so far.
+  uint64_t reclaimed_files = 0;
+};
+
+namespace forest_internal {
+
+/// Reclamation bookkeeping shared by the forest and every epoch state it
+/// ever published; outlives the forest if snapshots do.
+struct GcShared {
+  std::mutex mu;
+  uint64_t live_epoch = 0;
+  std::set<uint64_t> pinned_retired_epochs;
+  uint64_t unreclaimed_files = 0;
+  uint64_t reclaimed_files = 0;
+};
+
+/// One on-disk tree file tracked for epoch-based reclamation. Every epoch
+/// state whose live set contains the file holds a reference. Retire() arms
+/// deletion when the file drops out of the published generation; the
+/// destructor — running when the last referencing epoch dies, possibly on
+/// a reader thread releasing the final snapshot — unlinks it then. An
+/// unretired token (forest shutdown with the file still live) deletes
+/// nothing.
+class TrackedFile {
+ public:
+  TrackedFile(std::string path, std::shared_ptr<GcShared> gc);
+  ~TrackedFile();
+
+  TrackedFile(const TrackedFile&) = delete;
+  TrackedFile& operator=(const TrackedFile&) = delete;
+
+  void Retire();
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::shared_ptr<GcShared> gc_;
+  std::atomic<bool> retired_{false};
+  /// A GC failpoint vetoed the unlink; the file is left for recovery.
+  std::atomic<bool> leaked_{false};
+};
+
+/// One committed generation of the whole forest: the immutable tree set a
+/// snapshot pins. Destroying the state (last reference dropped) releases
+/// the Cubetrees and then reclaims any files retired since.
+struct EpochState {
+  ~EpochState();
+
+  uint64_t epoch = 0;
+  std::shared_ptr<GcShared> gc;
+  std::atomic<bool> retired{false};
+  std::map<uint32_t, size_t> view_to_tree;
+  std::vector<bool> quarantined;
+  /// Declared before `trees` so the trees (and their open file handles)
+  /// are destroyed first, then retired files are unlinked.
+  std::vector<std::shared_ptr<TrackedFile>> files;
+  /// nullptr in quarantined slots.
+  std::vector<std::shared_ptr<Cubetree>> trees;
+};
+
+}  // namespace forest_internal
+
+/// A refcounted handle pinning one committed forest generation. Queries run
+/// against a snapshot see that generation's trees — never a mix of pre- and
+/// post-refresh state — no matter how many refreshes commit while they run.
+/// Acquiring costs one atomic shared_ptr load; releasing the last handle of
+/// a retired generation reclaims its replaced tree files. Snapshots may
+/// outlive the forest's mutators but must be released before the forest and
+/// its BufferPool are destroyed (the trees read through that pool).
+class ForestSnapshot {
+ public:
+  ForestSnapshot() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t epoch() const { return state_->epoch; }
+  size_t num_trees() const { return state_->trees.size(); }
+  /// nullptr when tree `i` is quarantined in this generation.
+  Cubetree* tree(size_t i) const { return state_->trees[i].get(); }
+  bool IsViewQuarantined(uint32_t view_id) const;
+  /// The tree materializing `view_id` in this generation (NotFound for an
+  /// unknown view, Unavailable for a quarantined one).
+  Result<Cubetree*> TreeForView(uint32_t view_id) const;
+  /// Stored points across the generation's healthy trees.
+  uint64_t TotalPoints() const;
+
+  /// Drops the pin early (the destructor also releases it).
+  void Release() { state_.reset(); }
+
+ private:
+  friend class CubetreeForest;
+  explicit ForestSnapshot(
+      std::shared_ptr<const forest_internal::EpochState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const forest_internal::EpochState> state_;
+};
 
 /// What CubetreeForest::Recover found and did. Informational: recovery
 /// itself either succeeds (possibly with quarantined trees) or returns an
@@ -49,6 +161,18 @@ struct ForestRecoveryReport {
 /// storage organization the paper proposes. The forest plans view placement
 /// with SelectMapping, bulk-builds each tree from sorted per-view aggregate
 /// streams, and refreshes all trees by merge-packing sorted deltas.
+///
+/// Concurrency model: every committed state is published as an immutable
+/// generation (EpochState) behind one atomic shared_ptr. Readers call
+/// AcquireSnapshot() — wait-free, one atomic load — and query the pinned
+/// generation while refreshes build and commit the next one off to the
+/// side; mutators (ApplyDelta/ApplyDeltaPartial/Compact/RebuildQuarantined)
+/// serialize on an internal mutex. Files replaced by a refresh are retired,
+/// not unlinked: reclamation happens when the last epoch referencing them
+/// dies (epoch-based reclamation), so a reader pinned three refreshes back
+/// still completes against intact files. The direct accessors
+/// (tree/TreeForView/TotalPoints/...) remain single-threaded conveniences
+/// for loaders and tools; concurrent queries must go through snapshots.
 class CubetreeForest {
  public:
   struct Options {
@@ -167,6 +291,20 @@ class CubetreeForest {
   /// Total stored points across all trees.
   uint64_t TotalPoints() const;
 
+  /// Pins the currently published generation. Wait-free; safe to call from
+  /// any thread concurrently with refreshes. Returns an invalid snapshot
+  /// only before the first Build/Open publishes a generation.
+  ForestSnapshot AcquireSnapshot() const;
+
+  /// Snapshot-layer GC counters (epochs pinned, files awaiting reclaim).
+  ForestGcStats GcStats() const;
+
+  /// Paths of every file the published generation references (main trees
+  /// and pending deltas). Anything else matching the forest's file naming
+  /// on disk is retired-but-unreclaimed or crash-orphaned; ctfsck reports
+  /// it and Recover sweeps it.
+  std::vector<std::string> LiveFiles() const;
+
   /// Removes all tree files.
   Status Destroy();
 
@@ -215,6 +353,12 @@ class CubetreeForest {
   /// Views of tree `i` in ascending arity = pack order of their regions.
   std::vector<const ViewDef*> TreeViewsAscArity(size_t tree_index) const;
   std::function<uint8_t(uint32_t)> ArityFn() const;
+  /// Publishes the current in-memory state as the next generation: copies
+  /// the tree set into a fresh EpochState, carries over file-reclamation
+  /// tokens for files still live, retires tokens for files this generation
+  /// dropped, and swaps the atomic pointer. Call with refresh_mu_ held (or
+  /// during single-threaded construction).
+  void PublishState();
 
   Options options_;
   BufferPool* pool_;
@@ -222,7 +366,7 @@ class CubetreeForest {
   ForestPlan plan_;
   std::vector<ViewDef> views_;
   std::map<uint32_t, ViewDef> views_by_id_;
-  std::vector<std::unique_ptr<Cubetree>> trees_;
+  std::vector<std::shared_ptr<Cubetree>> trees_;
   std::vector<uint32_t> generations_;
   /// Per tree: the generation numbers of its pending delta trees.
   std::vector<std::vector<uint32_t>> delta_generations_;
@@ -232,6 +376,17 @@ class CubetreeForest {
   std::vector<bool> quarantined_;
   /// Per tree: the ".quarantine" files to delete once the tree is rebuilt.
   std::vector<std::vector<std::string>> quarantine_files_;
+
+  /// Serializes mutators (refresh, compaction, rebuild, destroy) against
+  /// each other. Never taken by readers.
+  std::mutex refresh_mu_;
+  std::shared_ptr<forest_internal::GcShared> gc_ =
+      std::make_shared<forest_internal::GcShared>();
+  /// The serving generation; AcquireSnapshot loads it, PublishState swaps
+  /// it. Held non-const so PublishState can flag the outgoing state
+  /// retired; snapshots only ever see it const.
+  std::atomic<std::shared_ptr<forest_internal::EpochState>> published_;
+  uint64_t next_epoch_ = 1;
 };
 
 }  // namespace cubetree

@@ -1,0 +1,121 @@
+#include "engine/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace cubetree {
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {}
+
+Status AdmissionController::ShedOrRejectLocked(uint64_t cost_hint) {
+  // The queue is full. Someone must go, and it should be whoever loses
+  // the least by retrying later — the cheapest request, incoming or
+  // queued.
+  auto cheapest = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->admitted || (*it)->shed) continue;
+    if (cheapest == queue_.end() || (*it)->cost < (*cheapest)->cost) {
+      cheapest = it;
+    }
+  }
+  const uint64_t backlog =
+      static_cast<uint64_t>(active_) + static_cast<uint64_t>(queue_.size());
+  const std::string hint =
+      "admission queue full (" + std::to_string(active_) + " active, " +
+      std::to_string(queue_.size()) + " queued); retry-after-ms=" +
+      std::to_string(5 * (backlog + 1));
+  if (cheapest == queue_.end() || (*cheapest)->cost >= cost_hint) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted("query rejected: " + hint);
+  }
+  (*cheapest)->shed = true;
+  ++stats_.shed;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
+                                                   const QueryContext* ctx) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_ < options_.max_concurrent && queue_.empty()) {
+    ++active_;
+    ++stats_.admitted;
+    return AdmissionTicket(this);
+  }
+  if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+    CT_RETURN_NOT_OK(ShedOrRejectLocked(cost_hint));
+  }
+  Waiter self;
+  self.cost = cost_hint;
+  queue_.push_back(&self);
+  auto leave_queue = [this, &self] { queue_.remove(&self); };
+  while (!self.admitted && !self.shed) {
+    if (ctx != nullptr) {
+      const Status ctx_status = ctx->Check();
+      if (!ctx_status.ok()) {
+        leave_queue();
+        ++stats_.deadline_exits;
+        return ctx_status;
+      }
+    }
+    // Bounded waits double as a cancellation poll: Cancel() does not (and
+    // cannot, from an arbitrary thread) signal this cv.
+    auto poll = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(5);
+    if (ctx != nullptr && ctx->has_deadline() && ctx->deadline() < poll) {
+      poll = ctx->deadline();
+    }
+    cv_.wait_until(lock, poll);
+  }
+  leave_queue();
+  if (self.shed) {
+    const uint64_t backlog =
+        static_cast<uint64_t>(active_) + static_cast<uint64_t>(queue_.size());
+    return Status::ResourceExhausted(
+        "query shed under overload; retry-after-ms=" +
+        std::to_string(5 * (backlog + 1)));
+  }
+  // ReleaseSlot already transferred the slot to us and counted the
+  // admission.
+  return AdmissionTicket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  for (Waiter* waiter : queue_) {
+    if (!waiter->admitted && !waiter->shed) {
+      waiter->admitted = true;
+      ++active_;
+      ++stats_.admitted;
+      break;
+    }
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace cubetree

@@ -1,0 +1,116 @@
+#ifndef CUBETREE_ENGINE_ADMISSION_H_
+#define CUBETREE_ENGINE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "common/query_context.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+
+class AdmissionController;
+
+/// RAII concurrency slot handed out by AdmissionController::Admit. The slot
+/// is returned (and the next waiter woken) when the ticket is destroyed or
+/// Release()d. Move-only; an invalid ticket releases nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool valid() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Semaphore-style admission gate in front of query execution: at most
+/// `max_concurrent` queries run at once, at most `max_queued` wait for a
+/// slot, and everything beyond that is load-shed with a retriable
+/// ResourceExhausted carrying a retry-after hint. Shedding evicts the
+/// *cheapest* request first (by the caller-supplied cost hint): cheap
+/// queries lose the least progress when retried, so under overload the
+/// expensive scans the system has already committed to keep their place.
+///
+/// Waiting respects the ambient deadline/cancel semantics of the supplied
+/// QueryContext: a queued query whose deadline expires leaves the queue
+/// with DeadlineExceeded rather than occupying it until admitted.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries running concurrently before new arrivals queue.
+    int max_concurrent = 8;
+    /// Bounded wait queue; arrivals beyond this shed load.
+    int max_queued = 16;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;  // Queue full, this request was the cheapest.
+    uint64_t shed = 0;      // Evicted from the queue by a pricier arrival.
+    uint64_t deadline_exits = 0;  // Left the queue on deadline/cancel.
+  };
+
+  explicit AdmissionController(Options options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a slot is granted, the context expires, or the request
+  /// is shed. `cost_hint` is the estimated execution cost (the engine
+  /// passes its optimizer estimate); it only orders shedding, cheapest
+  /// first. `ctx` may be nullptr for an uncancellable wait.
+  Result<AdmissionTicket> Admit(uint64_t cost_hint, const QueryContext* ctx);
+
+  Stats stats() const;
+  int active() const;
+  int queued() const;
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Waiter {
+    uint64_t cost = 0;
+    bool admitted = false;
+    bool shed = false;
+  };
+
+  /// Returns a slot and hands it to the longest-waiting live waiter.
+  void ReleaseSlot();
+  Status ShedOrRejectLocked(uint64_t cost_hint);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  std::list<Waiter*> queue_;  // FIFO for admission; shedding scans by cost.
+  Stats stats_;
+};
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_ENGINE_ADMISSION_H_

@@ -119,7 +119,21 @@ double CubetreeEngine::EstimateCost(const ViewDef& view,
 
 Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
                                             QueryExecStats* stats) {
+  return Execute(query, stats, QueryContext::Current());
+}
+
+Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
+                                            QueryExecStats* stats,
+                                            const QueryContext* ctx) {
   if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
+  // Pin one committed generation for the whole query. Concurrent refreshes
+  // publish new generations; this one stays intact (retired files included)
+  // until the snapshot is released on return.
+  ForestSnapshot snapshot = forest_->AcquireSnapshot();
+  if (!snapshot.valid()) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
   // Route: cheapest covering view (replicas compete here too).
@@ -129,7 +143,7 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
     if (!view.Covers(query.node_mask)) continue;
     // Graceful degradation after recovery: a quarantined view is out of
     // service, but a covering superset view (or replica) can still answer.
-    if (forest_->IsViewQuarantined(view.id)) continue;
+    if (snapshot.IsViewQuarantined(view.id)) continue;
     auto it = view_rows_.find(view.id);
     const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
     const double cost = EstimateCost(view, query, rows);
@@ -141,6 +155,18 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   if (best == nullptr) {
     return Status::NotFound("no materialized view answers this query");
   }
+
+  // The routing estimate doubles as the admission cost hint: under
+  // overload, the gate sheds the cheapest (least lost work) queries first.
+  AdmissionTicket ticket;
+  if (options_.admission != nullptr) {
+    CT_ASSIGN_OR_RETURN(
+        ticket, options_.admission->Admit(
+                    static_cast<uint64_t>(best_cost), ctx));
+  }
+  // Install the ambient context so BufferPool::Fetch / PageManager::ReadPage
+  // check deadline + cancellation at page granularity for the whole scan.
+  QueryContext::Scope context_scope(ctx);
 
   // Per-attribute intervals in the chosen view's projection order
   // (equality = degenerate interval, range = band, open = full).
@@ -173,7 +199,7 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
     }
   }
 
-  CT_ASSIGN_OR_RETURN(Cubetree * tree, forest_->TreeForView(best->id));
+  CT_ASSIGN_OR_RETURN(Cubetree * tree, snapshot.TreeForView(best->id));
   bool exact = best->AttrMask() == query.node_mask && !tree->HasDeltas();
   for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
     // A collapsed (ungrouped) attr without an equality binding folds

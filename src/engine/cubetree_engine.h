@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "cubetree/forest.h"
 #include "cubetree/view_def.h"
+#include "engine/admission.h"
 #include "engine/view_store.h"
 #include "olap/cube_builder.h"
 #include "storage/buffer_pool.h"
@@ -28,6 +30,10 @@ class CubetreeEngine : public ViewStore {
     /// Ablation: bypass SelectMapping and give every view its own tree.
     bool one_tree_per_view = false;
     std::shared_ptr<IoStats> io_stats;
+    /// Optional admission gate every Execute passes through (caller-owned,
+    /// shared across engines if desired). The routing cost estimate is the
+    /// admission cost hint, so overload sheds the cheapest queries first.
+    AdmissionController* admission = nullptr;
   };
 
   static Result<std::unique_ptr<CubetreeEngine>> Create(
@@ -64,8 +70,19 @@ class CubetreeEngine : public ViewStore {
   /// Folds all pending delta trees into the main trees.
   Status Compact();
 
+  /// Executes under the ambient QueryContext (QueryContext::Current()), if
+  /// any. Safe to call from many threads concurrently with ApplyDelta /
+  /// Compact refreshes: each call pins one forest generation snapshot, so
+  /// it sees entirely-pre- or entirely-post-refresh state, never a mix.
   Result<QueryResult> Execute(const SliceQuery& query,
                               QueryExecStats* stats) override;
+
+  /// Execute under an explicit query session: `ctx` carries the deadline
+  /// and cancellation token (checked at page-read granularity inside the
+  /// storage layer) and is also respected while queued at the admission
+  /// gate. `ctx` may be nullptr.
+  Result<QueryResult> Execute(const SliceQuery& query, QueryExecStats* stats,
+                              const QueryContext* ctx);
 
   uint64_t StorageBytes() const override;
   CubetreeForest* forest() { return forest_.get(); }

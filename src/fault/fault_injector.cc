@@ -148,6 +148,7 @@ Status FaultInjector::Arm(const std::string& failpoint, FaultSpec spec) {
   if (!IsRegistered(failpoint)) {
     return Status::InvalidArgument("unknown failpoint: " + failpoint);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = armed_.insert_or_assign(failpoint, Armed{spec, 0, 0});
   (void)it;
   if (inserted) armed_count().fetch_add(1, std::memory_order_relaxed);
@@ -161,12 +162,14 @@ Status FaultInjector::Arm(const std::string& failpoint,
 }
 
 void FaultInjector::Disarm(const std::string& failpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (armed_.erase(failpoint) > 0) {
     armed_count().fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_count().fetch_sub(static_cast<int>(armed_.size()),
                           std::memory_order_relaxed);
   armed_.clear();
@@ -191,6 +194,7 @@ Status FaultInjector::ParseAndArm(const std::string& config) {
 }
 
 uint64_t FaultInjector::HitCount(const std::string& failpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hits_.find(failpoint);
   return it == hits_.end() ? 0 : it->second;
 }
@@ -198,6 +202,7 @@ uint64_t FaultInjector::HitCount(const std::string& failpoint) const {
 FaultOutcome FaultInjector::Check(const char* failpoint) {
   FaultOutcome outcome;
   outcome.failpoint = failpoint;
+  std::lock_guard<std::mutex> lock(mu_);
   ++hits_[outcome.failpoint];
   auto it = armed_.find(outcome.failpoint);
   if (it == armed_.end()) return outcome;

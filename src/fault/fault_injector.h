@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <exception>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,7 +88,10 @@ struct FaultOutcome {
 ///   crash@3      _Exit(43) on the third hit
 ///   throw        throw SimulatedCrash on the first hit
 ///
-/// Single-threaded by design, like the rest of the library.
+/// Thread-safe: hit counters and the armed map are guarded by an internal
+/// mutex, so the stress harness can arm failpoints while reader and
+/// refresh threads trip them. The nothing-armed fast path stays one
+/// relaxed atomic load with no lock.
 class FaultInjector {
  public:
   /// Exit code of a kCrash action — distinguishable from real failures in
@@ -148,6 +152,7 @@ class FaultInjector {
     uint32_t triggered = 0;
   };
 
+  mutable std::mutex mu_;
   std::map<std::string, Armed> armed_;
   std::map<std::string, uint64_t> hits_;
 };

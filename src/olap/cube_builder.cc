@@ -246,6 +246,7 @@ Status CubeBuilder::ComputeOne(const ViewDef& view, const ViewDef* parent,
   sort_options.memory_budget_bytes = options_.sort_budget_bytes;
   sort_options.temp_dir = options_.temp_dir;
   sort_options.io_stats = options_.io_stats;
+  sort_options.process_budget = options_.memory_budget;
   ExternalSorter sorter(sort_options, [arity](const char* a, const char* b) {
     return ViewRecordCompare(a, b, arity) < 0;
   });

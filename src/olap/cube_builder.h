@@ -106,6 +106,9 @@ class CubeBuilder {
     std::string temp_dir = ".";
     /// In-memory budget of each external sort.
     size_t sort_budget_bytes = 16u << 20;
+    /// Optional process-wide memory budget; when set, each sort reserves
+    /// its buffer from it and spills earlier under pressure.
+    MemoryBudget* memory_budget = nullptr;
     /// Shared I/O accounting for sort runs and spools.
     std::shared_ptr<IoStats> io_stats;
     /// Skip the sort when a child's pack order is a projection-compatible

@@ -102,6 +102,20 @@ ExternalSorter::ExternalSorter(Options options, RecordComparator less)
   // each record into its own run.
   options_.memory_budget_bytes =
       std::max(options_.memory_budget_bytes, options_.record_size * 64);
+  if (options_.process_budget != nullptr) {
+    auto granted = options_.process_budget->ReserveUpTo(
+        options_.record_size * 64, options_.memory_budget_bytes,
+        "external sorter");
+    if (granted.ok()) {
+      reservation_ = MemoryReservation(options_.process_budget,
+                                       granted.value());
+      // A smaller grant lowers the spill threshold: the sort still
+      // completes, it just trades memory for extra run files.
+      options_.memory_budget_bytes = static_cast<size_t>(granted.value());
+    } else {
+      budget_status_ = granted.status();
+    }
+  }
   buffer_.reserve(options_.memory_budget_bytes);
 }
 
@@ -114,6 +128,7 @@ ExternalSorter::~ExternalSorter() {
 
 Status ExternalSorter::Add(const char* record) {
   if (finished_) return Status::Internal("ExternalSorter: Add after Finish");
+  CT_RETURN_NOT_OK(budget_status_);
   if (buffer_.size() + options_.record_size > options_.memory_budget_bytes) {
     CT_RETURN_NOT_OK(SpillRun());
   }
@@ -229,6 +244,7 @@ Status ExternalSorter::ReduceRuns() {
 Result<std::unique_ptr<RecordStream>> ExternalSorter::Finish() {
   CT_FAULT("sort.finish");
   if (finished_) return Status::Internal("ExternalSorter: double Finish");
+  CT_RETURN_NOT_OK(budget_status_);
   finished_ = true;
   if (runs_.empty()) {
     SortBuffer();

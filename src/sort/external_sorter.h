@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/io_stats.h"
@@ -72,6 +73,12 @@ class ExternalSorter {
     /// merge passes combine them (bounding open file descriptors and
     /// keeping per-run read-ahead viable on a real disk).
     size_t max_merge_fanin = 64;
+    /// Optional process-wide budget (shared with the buffer pool). When
+    /// set, the run buffer is reserved from it best-effort: under memory
+    /// pressure the sorter gets a smaller buffer and spills earlier; when
+    /// not even the 64-record floor is available, Add/Finish return the
+    /// budget's retriable ResourceExhausted instead of allocating.
+    MemoryBudget* process_budget = nullptr;
   };
 
   ExternalSorter(Options options, RecordComparator less);
@@ -103,6 +110,11 @@ class ExternalSorter {
 
   Options options_;
   RecordComparator less_;
+  /// Reservation against options_.process_budget (empty when unbudgeted).
+  MemoryReservation reservation_;
+  /// Non-OK when the budget denied even the minimum buffer; surfaced on
+  /// the first Add/Finish (constructors cannot fail).
+  Status budget_status_;
   std::vector<char> buffer_;
   uint64_t num_records_ = 0;
   std::vector<std::unique_ptr<PageManager>> runs_;

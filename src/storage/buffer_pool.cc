@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "common/query_context.h"
 
 namespace cubetree {
 
@@ -33,8 +34,9 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(size_t capacity_pages)
-    : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+BufferPool::BufferPool(size_t capacity_pages, MemoryBudget* memory_budget)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      memory_budget_(memory_budget) {
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
@@ -44,7 +46,7 @@ BufferPool::~BufferPool() {
   // A frame still pinned here means a PageHandle outlived the pool: its
   // page pointer is about to dangle. Surface the leak instead of silently
   // tearing down.
-  const size_t pinned = PinnedPages();
+  const size_t pinned = PinnedPagesLocked();  // Destructor: no other threads.
   if (pinned > 0) {
     for (const Frame& f : frames_) {
       if (f.pin_count > 0) {
@@ -60,9 +62,12 @@ BufferPool::~BufferPool() {
   // Best effort: write back whatever is dirty. Errors here cannot be
   // reported; production callers should FlushAll() explicitly.
   (void)FlushAll();
+  if (memory_budget_ != nullptr && charged_bytes_ > 0) {
+    memory_budget_->Release(charged_bytes_);
+  }
 }
 
-size_t BufferPool::PinnedPages() const {
+size_t BufferPool::PinnedPagesLocked() const {
   size_t pinned = 0;
   for (const Frame& f : frames_) {
     if (f.file != nullptr && f.pin_count > 0) ++pinned;
@@ -70,7 +75,13 @@ size_t BufferPool::PinnedPages() const {
   return pinned;
 }
 
+size_t BufferPool::PinnedPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinnedPagesLocked();
+}
+
 void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame_index];
   CT_ASSERT(f.pin_count > 0) << "unpin of page " << f.page_id
                              << " with zero pin count";
@@ -83,6 +94,7 @@ void BufferPool::Unpin(size_t frame_index) {
 }
 
 void BufferPool::MarkFrameDirty(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   frames_[frame_index].dirty = true;
 }
 
@@ -107,9 +119,25 @@ Status BufferPool::EvictFrame(size_t frame_index, bool write_back) {
 Result<size_t> BufferPool::GrabFrame() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
-    free_frames_.pop_back();
-    if (!frames_[idx].page) frames_[idx].page = std::make_unique<Page>();
-    return idx;
+    if (frames_[idx].page) {
+      free_frames_.pop_back();
+      return idx;
+    }
+    // Frames allocate lazily; each first-time allocation is charged to the
+    // process memory budget. When the budget denies a new frame the pool
+    // degrades to its already-charged footprint by evicting instead, and
+    // only surfaces the (retriable) denial when nothing is evictable.
+    Status reserved =
+        memory_budget_ == nullptr
+            ? Status::OK()
+            : memory_budget_->TryReserve(kPageSize, "buffer pool frame");
+    if (reserved.ok()) {
+      if (memory_budget_ != nullptr) charged_bytes_ += kPageSize;
+      frames_[idx].page = std::make_unique<Page>();
+      free_frames_.pop_back();
+      return idx;
+    }
+    if (lru_.empty()) return reserved;
   }
   if (lru_.empty()) {
     return Status::ResourceExhausted(
@@ -122,6 +150,12 @@ Result<size_t> BufferPool::GrabFrame() {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
+  // Cancellation point even on the hit path: a hot query whose pages are
+  // all cached must still notice its deadline within one page touch.
+  if (const QueryContext* ctx = QueryContext::Current()) {
+    CT_RETURN_NOT_OK(ctx->Check());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find({file, id});
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -151,6 +185,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
 }
 
 Result<PageHandle> BufferPool::New(PageManager* file) {
+  std::lock_guard<std::mutex> lock(mu_);
   CT_ASSIGN_OR_RETURN(PageId id, file->AllocatePage());
   CT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
   Frame& f = frames_[idx];
@@ -164,6 +199,7 @@ Result<PageHandle> BufferPool::New(PageManager* file) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.file != nullptr && f.dirty) {
       CT_RETURN_NOT_OK(f.file->WritePage(f.page_id, *f.page));
@@ -175,6 +211,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::DropFile(PageManager* file, bool write_back) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.file == file) {

@@ -5,8 +5,10 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page.h"
@@ -65,9 +67,20 @@ struct BufferPoolStats {
 /// Fixed-capacity LRU buffer pool shared by every paged structure of one
 /// engine configuration. Capacity is given in pages; the default benchmark
 /// configuration sizes it to the paper's 32 MB machine.
+///
+/// Thread-safe: one internal mutex serializes all frame bookkeeping,
+/// including the disk read of a miss (the pool is an LRU cache, not a
+/// parallel I/O scheduler — see DESIGN.md §9). Fetch is additionally a
+/// cancellation point for the ambient QueryContext, so queries observing a
+/// deadline abort even when every page they touch is already cached.
+///
+/// When constructed with a MemoryBudget, each lazily allocated frame
+/// charges one page against it; a denied charge surfaces as
+/// ResourceExhausted (retriable) instead of growing past the budget.
 class BufferPool {
  public:
-  explicit BufferPool(size_t capacity_pages);
+  explicit BufferPool(size_t capacity_pages,
+                      MemoryBudget* memory_budget = nullptr);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -93,6 +106,8 @@ class BufferPool {
   /// shutdown means a handle leaked (the destructor logs and, under
   /// CT_DCHECK, aborts); the invariant checker reports it as a finding.
   size_t PinnedPages() const;
+  /// Counter reads are safe only once concurrent pool activity has
+  /// quiesced (how every bench and checker uses them).
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStats* mutable_stats() { return &stats_; }
 
@@ -114,11 +129,16 @@ class BufferPool {
 
   void Unpin(size_t frame_index);
   void MarkFrameDirty(size_t frame_index);
+  // The private helpers below expect mu_ held by the caller.
+  size_t PinnedPagesLocked() const;
   /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
   Result<size_t> GrabFrame();
   Status EvictFrame(size_t frame_index, bool write_back);
 
   size_t capacity_;
+  MemoryBudget* memory_budget_;
+  uint64_t charged_bytes_ = 0;
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::map<Key, size_t> page_table_;

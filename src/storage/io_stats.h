@@ -1,6 +1,7 @@
 #ifndef CUBETREE_STORAGE_IO_STATS_H_
 #define CUBETREE_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "storage/page.h"
@@ -11,11 +12,41 @@ namespace cubetree {
 /// the paper's headline ratios (16:1 load, 100:1 refresh) are dominated by
 /// the sequential-vs-random asymmetry of late-90s disks; DiskModel converts
 /// these counters into modeled seconds on such a disk.
+///
+/// One IoStats is shared (via shared_ptr) by every PageManager of a
+/// configuration, and with online serving those PageManagers run on many
+/// threads at once, so the counters are relaxed atomics: increments never
+/// tear, while copies taken for before/after deltas are per-field snapshots
+/// (exact once the measured phase has quiesced, which is how every bench
+/// uses them). The struct stays copyable so call sites keep treating it as
+/// a value type.
 struct IoStats {
-  uint64_t sequential_reads = 0;
-  uint64_t random_reads = 0;
-  uint64_t sequential_writes = 0;
-  uint64_t random_writes = 0;
+  std::atomic<uint64_t> sequential_reads{0};
+  std::atomic<uint64_t> random_reads{0};
+  std::atomic<uint64_t> sequential_writes{0};
+  std::atomic<uint64_t> random_writes{0};
+
+  IoStats() = default;
+  IoStats(uint64_t seq_reads, uint64_t rand_reads, uint64_t seq_writes,
+          uint64_t rand_writes)
+      : sequential_reads(seq_reads),
+        random_reads(rand_reads),
+        sequential_writes(seq_writes),
+        random_writes(rand_writes) {}
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    sequential_reads.store(
+        other.sequential_reads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    random_reads.store(other.random_reads.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    sequential_writes.store(
+        other.sequential_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    random_writes.store(other.random_writes.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   uint64_t TotalReads() const { return sequential_reads + random_reads; }
   uint64_t TotalWrites() const { return sequential_writes + random_writes; }
@@ -25,18 +56,20 @@ struct IoStats {
   void Clear() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& other) {
-    sequential_reads += other.sequential_reads;
-    random_reads += other.random_reads;
-    sequential_writes += other.sequential_writes;
-    random_writes += other.random_writes;
+    sequential_reads += other.sequential_reads.load(std::memory_order_relaxed);
+    random_reads += other.random_reads.load(std::memory_order_relaxed);
+    sequential_writes +=
+        other.sequential_writes.load(std::memory_order_relaxed);
+    random_writes += other.random_writes.load(std::memory_order_relaxed);
     return *this;
   }
 
   friend IoStats operator-(IoStats a, const IoStats& b) {
-    a.sequential_reads -= b.sequential_reads;
-    a.random_reads -= b.random_reads;
-    a.sequential_writes -= b.sequential_writes;
-    a.random_writes -= b.random_writes;
+    a.sequential_reads -= b.sequential_reads.load(std::memory_order_relaxed);
+    a.random_reads -= b.random_reads.load(std::memory_order_relaxed);
+    a.sequential_writes -=
+        b.sequential_writes.load(std::memory_order_relaxed);
+    a.random_writes -= b.random_writes.load(std::memory_order_relaxed);
     return a;
   }
 };

@@ -4,11 +4,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <sys/stat.h>
 
 #include "common/assert.h"
+#include "common/query_context.h"
+#include "common/rng.h"
 #include "fault/fault_injector.h"
 
 namespace cubetree {
@@ -21,15 +24,46 @@ Status ErrnoStatus(const std::string& context) {
 
 // Read-path retry policy (see PageManager::SetReadRetryPolicy). Transient
 // I/O errors — injected ones, or real hiccups of a loaded device — are
-// retried a bounded number of times with exponential backoff before the
-// error is surfaced, so a multi-hour load does not abort on a blip.
-int g_read_retry_attempts = 4;
-int g_read_retry_backoff_us = 100;
+// retried with jittered exponential backoff before the error is surfaced,
+// so a multi-hour load does not abort on a blip and concurrent readers do
+// not synchronize into retry storms.
+std::atomic<int> g_read_retry_attempts{4};
+std::atomic<int> g_read_retry_backoff_us{100};
 
-void BackoffBeforeRetry(int attempt) {
-  if (g_read_retry_backoff_us <= 0) return;
-  // attempt is 1-based: 1 -> base, 2 -> 2x base, 3 -> 4x base, ...
-  ::usleep(static_cast<useconds_t>(g_read_retry_backoff_us) << (attempt - 1));
+/// Per-thread generator for backoff jitter, seeded so that no two threads
+/// (and no two processes) draw the same sequence. Deliberately separate
+/// from the workload Rng: jitter must differ across threads, experiments
+/// must not.
+Rng& JitterRng() {
+  thread_local Rng rng([] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    static thread_local int stack_marker;
+    return static_cast<uint64_t>(now.count()) ^
+           reinterpret_cast<uint64_t>(&stack_marker);
+  }());
+  return rng;
+}
+
+void BackoffBeforeRetry(int attempt, const QueryContext* ctx) {
+  const int base = g_read_retry_backoff_us.load(std::memory_order_relaxed);
+  if (base <= 0) return;
+  // attempt is 1-based: the ceiling doubles each retry (capped so the
+  // shift cannot overflow), and the actual sleep is a uniform draw from
+  // [ceiling/2, ceiling] — "equal jitter", which keeps the expected wait
+  // growing exponentially while decorrelating concurrent retriers.
+  const int shift = attempt - 1 < 10 ? attempt - 1 : 10;
+  const uint64_t ceiling = static_cast<uint64_t>(base) << shift;
+  const uint64_t floor = ceiling / 2;
+  uint64_t sleep_us = floor + JitterRng().Uniform(ceiling - floor + 1);
+  if (ctx != nullptr && ctx->has_deadline()) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        ctx->deadline() - QueryContext::Clock::now());
+    if (remaining.count() <= 0) return;  // Caller re-checks and fails.
+    if (sleep_us > static_cast<uint64_t>(remaining.count())) {
+      sleep_us = static_cast<uint64_t>(remaining.count());
+    }
+  }
+  ::usleep(static_cast<useconds_t>(sleep_us));
 }
 
 }  // namespace
@@ -104,8 +138,10 @@ PageManager::~PageManager() {
 }
 
 void PageManager::SetReadRetryPolicy(int max_attempts, int base_backoff_us) {
-  g_read_retry_attempts = max_attempts < 1 ? 1 : max_attempts;
-  g_read_retry_backoff_us = base_backoff_us < 0 ? 0 : base_backoff_us;
+  g_read_retry_attempts.store(max_attempts < 1 ? 1 : max_attempts,
+                              std::memory_order_relaxed);
+  g_read_retry_backoff_us.store(base_backoff_us < 0 ? 0 : base_backoff_us,
+                                std::memory_order_relaxed);
 }
 
 Result<std::unique_ptr<PageManager>> PageManager::Create(
@@ -166,22 +202,23 @@ Result<std::unique_ptr<PageManager>> PageManager::OpenPrefix(
 }
 
 void PageManager::RecordRead(PageId id) {
-  if (last_read_page_ != kInvalidPageId && id == last_read_page_ + 1) {
+  const PageId prev = last_read_page_.exchange(id, std::memory_order_relaxed);
+  if (prev != kInvalidPageId && id == prev + 1) {
     ++stats_->sequential_reads;
   } else {
     ++stats_->random_reads;
   }
-  last_read_page_ = id;
 }
 
 void PageManager::RecordWrite(PageId id) {
-  if ((last_write_page_ != kInvalidPageId && id == last_write_page_ + 1) ||
-      (last_write_page_ == kInvalidPageId && id == 0)) {
+  const PageId prev =
+      last_write_page_.exchange(id, std::memory_order_relaxed);
+  if ((prev != kInvalidPageId && id == prev + 1) ||
+      (prev == kInvalidPageId && id == 0)) {
     ++stats_->sequential_writes;
   } else {
     ++stats_->random_writes;
   }
-  last_write_page_ = id;
 }
 
 Result<PageId> PageManager::AllocatePage() {
@@ -199,16 +236,33 @@ Status PageManager::ReadPageOnce(PageId id, Page* page) {
 Status PageManager::ReadPage(PageId id, Page* page) {
   CT_DCHECK(page != nullptr);
   CT_DCHECK(fd_ >= 0) << "page file " << path_ << " not open";
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::InvalidArgument("read past end of page file " + path_);
   }
+  // Every physical page read is a cancellation point: a query session's
+  // deadline/cancel token is honored here, so even a cold full-tree scan
+  // aborts within one page of the deadline.
+  const QueryContext* ctx = QueryContext::Current();
+  if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
+  const int max_attempts =
+      g_read_retry_attempts.load(std::memory_order_relaxed);
   Status status;
-  for (int attempt = 1; attempt <= g_read_retry_attempts; ++attempt) {
-    if (attempt > 1) BackoffBeforeRetry(attempt - 1);
+  for (int attempt = 1;; ++attempt) {
     status = ReadPageOnce(id, page);
     // Retry only transient-looking I/O errors; Corruption (short read,
     // torn file) will not heal by itself.
     if (status.ok() || !status.IsIOError()) break;
+    if (ctx != nullptr) {
+      // The caller's budget, not a fixed attempt count, bounds retries:
+      // keep going until the deadline expires or the query is cancelled.
+      // Without a deadline the fixed cap still applies — an uncancellable
+      // context must not retry forever.
+      CT_RETURN_NOT_OK(ctx->Check());
+      if (!ctx->has_deadline() && attempt >= max_attempts) break;
+    } else if (attempt >= max_attempts) {
+      break;
+    }
+    BackoffBeforeRetry(attempt, ctx);
   }
   if (!status.ok()) return status;
   RecordRead(id);
@@ -234,7 +288,7 @@ Status PageManager::WritePageAt(PageId id, const Page& page,
 }
 
 Status PageManager::WritePage(PageId id, const Page& page) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::InvalidArgument("write past end of page file " + path_);
   }
   CT_RETURN_NOT_OK(WritePageAt(id, page, "storage.page.write"));
@@ -243,9 +297,11 @@ Status PageManager::WritePage(PageId id, const Page& page) {
 }
 
 Result<PageId> PageManager::AppendPage(const Page& page) {
-  const PageId id = num_pages_;
+  // Appends are single-writer per file (one build or refresh thread); the
+  // atomic only keeps concurrent NumPages() probes race-free.
+  const PageId id = NumPages();
   CT_RETURN_NOT_OK(WritePageAt(id, page, "storage.page.append"));
-  ++num_pages_;
+  num_pages_.store(id + 1, std::memory_order_relaxed);
   RecordWrite(id);
   return id;
 }

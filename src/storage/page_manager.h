@@ -3,6 +3,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,8 +21,11 @@ namespace cubetree {
 /// IoStats. All structures in the library do their physical I/O through this
 /// class so benchmarks can account for every page touched.
 ///
-/// Single-threaded by design, like the single-CPU/single-disk platform the
-/// paper evaluates on.
+/// Thread-safe for concurrent reads and appends: pread/pwrite carry their
+/// own offsets, the page count and the sequential-vs-random classification
+/// heads are atomics, and the shared IoStats counters are relaxed atomics.
+/// Concurrent readers may skew the sequential/random *classification* of
+/// each other's accesses (the heads are heuristic), but never the totals.
 class PageManager {
  public:
   /// Creates (truncating) a new page file at `path`. `stats` may be shared
@@ -43,11 +47,17 @@ class PageManager {
       const std::string& path, std::shared_ptr<IoStats> stats,
       uint64_t* trailing_bytes);
 
-  /// Configures the bounded retry loop on the read path (process-wide).
-  /// A transient IOError from pread — injected or real — is retried up to
-  /// `max_attempts` times total, sleeping `base_backoff_us` microseconds
-  /// before the first retry and doubling each attempt. Tests set the
-  /// backoff to 0 to keep fault sweeps fast. Defaults: 4 attempts, 100us.
+  /// Configures the retry loop on the read path (process-wide). A
+  /// transient IOError from pread — injected or real — is retried with
+  /// jittered exponential backoff: before retry k the thread sleeps a
+  /// uniform draw from [2^(k-1)·base/2, 2^(k-1)·base] microseconds, so
+  /// concurrent readers hitting the same transient fault do not
+  /// re-converge into a synchronized retry storm. Callers without an
+  /// ambient QueryContext deadline get at most `max_attempts` attempts;
+  /// under a deadline the attempt count is unbounded and the loop instead
+  /// retries until the deadline expires (sleeps are clipped to the time
+  /// remaining). Tests set the backoff to 0 to keep fault sweeps fast.
+  /// Defaults: 4 attempts, 100us.
   static void SetReadRetryPolicy(int max_attempts, int base_backoff_us);
 
   ~PageManager();
@@ -71,9 +81,11 @@ class PageManager {
   /// Flushes the file to stable storage.
   Status Sync();
 
-  PageId NumPages() const { return num_pages_; }
+  PageId NumPages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
   uint64_t FileSizeBytes() const {
-    return static_cast<uint64_t>(num_pages_) * kPageSize;
+    return static_cast<uint64_t>(NumPages()) * kPageSize;
   }
   const std::string& path() const { return path_; }
   const IoStats& stats() const { return *stats_; }
@@ -90,11 +102,13 @@ class PageManager {
 
   std::string path_;
   int fd_;
-  PageId num_pages_;
+  std::atomic<PageId> num_pages_;
   std::shared_ptr<IoStats> stats_;
-  // Heads used to classify accesses as sequential vs random.
-  PageId last_read_page_ = kInvalidPageId;
-  PageId last_write_page_ = kInvalidPageId;
+  // Heads used to classify accesses as sequential vs random. Atomic so
+  // concurrent readers stay race-free; the classification itself remains a
+  // single-stream heuristic.
+  std::atomic<PageId> last_read_page_{kInvalidPageId};
+  std::atomic<PageId> last_write_page_{kInvalidPageId};
 };
 
 /// Deletes the file at `path` if it exists. Used by tests and benches to

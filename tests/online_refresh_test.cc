@@ -1,0 +1,810 @@
+// Online-refresh concurrency suite: generation snapshots, epoch-based file
+// reclamation, query deadlines/cancellation, admission control, the shared
+// process memory budget — and a multithreaded stress harness racing reader
+// threads against a stream of refresh cycles with failpoints armed.
+//
+// The stress tests carry the suite's core invariant: a pinned snapshot is
+// a single committed generation, so every view's total count inside one
+// snapshot advances in lockstep (the base plus the same number of whole
+// refresh cycles). A reader that ever observes views from two different
+// generations — or a torn, mid-refresh state — breaks the lockstep and
+// fails loudly. Run under TSan via CUBETREE_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/query_context.h"
+#include "cubetree/cubetree.h"
+#include "cubetree/forest.h"
+#include "cubetree/view_def.h"
+#include "engine/admission.h"
+#include "fault/fault_injector.h"
+#include "sort/external_sorter.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_manager.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ViewDef MakeView(uint32_t id, std::vector<uint32_t> attrs) {
+  ViewDef view;
+  view.id = id;
+  view.attrs = std::move(attrs);
+  return view;
+}
+
+/// The paper's running example: V1{partkey,suppkey}, V2{suppkey,custkey},
+/// V3{partkey}, V4{} — two trees after SelectMapping.
+std::vector<ViewDef> PaperViews() {
+  return {MakeView(1, {0, 1}), MakeView(2, {1, 2}), MakeView(3, {0}),
+          MakeView(4, {})};
+}
+
+/// In-memory ViewDataProvider (same idiom as the crash-recovery suite).
+class VectorViewProvider : public CubetreeForest::ViewDataProvider {
+ public:
+  void Add(const ViewDef& view, std::vector<Coord> coords, AggValue agg) {
+    auto& rows = data_[view.id];
+    std::vector<char> rec(ViewRecordBytes(view.arity()));
+    coords.resize(kMaxDims, 0);
+    EncodeViewRecord(rec.data(), coords.data(), view.arity(), agg);
+    rows.push_back(std::move(rec));
+  }
+
+  Result<std::unique_ptr<RecordStream>> OpenViewStream(
+      const ViewDef& view) override {
+    auto rows = data_[view.id];  // Copy.
+    const uint8_t arity = view.arity();
+    std::sort(rows.begin(), rows.end(),
+              [arity](const std::vector<char>& a, const std::vector<char>& b) {
+                return ViewRecordCompare(a.data(), b.data(), arity) < 0;
+              });
+    std::vector<char> flat;
+    for (const auto& r : rows) flat.insert(flat.end(), r.begin(), r.end());
+    return std::unique_ptr<RecordStream>(
+        new MemoryRecordStream(std::move(flat), ViewRecordBytes(arity)));
+  }
+
+ private:
+  std::map<uint32_t, std::vector<std::vector<char>>> data_;
+};
+
+constexpr uint64_t kBaseCount = 12;   // Per-view total count after Build.
+constexpr uint64_t kCycleCount = 8;   // Added to every view per cycle.
+
+/// Base load: 12 rows (total count 12) in every view, including the
+/// arity-0 view, so the lockstep invariant starts from equal counts.
+void FillBase(VectorViewProvider* p, const std::vector<ViewDef>& views) {
+  for (uint32_t k = 1; k <= kBaseCount; ++k) {
+    p->Add(views[0], {k, 1}, AggValue{int64_t(k), 1});
+    p->Add(views[1], {1, k}, AggValue{int64_t(k * 2), 1});
+    p->Add(views[2], {k}, AggValue{int64_t(k * 3), 1});
+  }
+  p->Add(views[3], {}, AggValue{77, kBaseCount});
+}
+
+/// Refresh cycle `c` (1-based): 8 rows with cycle-unique keys in every
+/// keyed view plus count-8 in the arity-0 view. Keys never collide across
+/// cycles or with the base, so each applied cycle raises every view's
+/// total count by exactly kCycleCount — the lockstep invariant.
+void FillCycle(VectorViewProvider* p, const std::vector<ViewDef>& views,
+               uint32_t cycle) {
+  for (uint32_t j = 1; j <= kCycleCount; ++j) {
+    const Coord key = 1000 + (cycle - 1) * kCycleCount + j;
+    p->Add(views[0], {key, 2}, AggValue{int64_t(key), 1});
+    p->Add(views[1], {2, key}, AggValue{int64_t(key), 1});
+    p->Add(views[2], {key}, AggValue{int64_t(key), 1});
+  }
+  p->Add(views[3], {}, AggValue{int64_t(cycle), kCycleCount});
+}
+
+CubetreeForest::Options ForestOptions(const std::string& dir) {
+  CubetreeForest::Options options;
+  options.dir = dir;
+  options.name = "f";
+  return options;
+}
+
+/// Total count per view, read strictly through `snap` (never through the
+/// forest's live generation).
+Status CountAll(const ForestSnapshot& snap, const std::vector<ViewDef>& views,
+                std::vector<uint64_t>* out) {
+  out->assign(views.size(), 0);
+  for (size_t i = 0; i < views.size(); ++i) {
+    CT_ASSIGN_OR_RETURN(Cubetree * tree, snap.TreeForView(views[i].id));
+    std::vector<std::optional<Coord>> open(views[i].arity(), std::nullopt);
+    CT_RETURN_NOT_OK(tree->QuerySlice(
+        views[i].id, open, [&](const Coord*, const AggValue& agg) {
+          (*out)[i] += agg.count;
+        }));
+  }
+  return Status::OK();
+}
+
+/// Tree/delta files of forest "f" present in `dir` (names like f_t0_g1.ctr).
+std::vector<std::string> ForestDataFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return files;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("f_t", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".ctr") {
+      files.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class OnlineRefreshTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Instance().DisarmAll();
+    PageManager::SetReadRetryPolicy(4, 0);
+  }
+};
+
+// --- Snapshot isolation & epoch-based reclamation -----------------------
+
+TEST_F(OnlineRefreshTest, SnapshotIsolatedFromFullRefresh) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(256);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+
+  ForestSnapshot old_snap = forest->AcquireSnapshot();
+  ASSERT_TRUE(old_snap.valid());
+  const uint64_t old_epoch = old_snap.epoch();
+  std::vector<uint64_t> counts;
+  ASSERT_OK(CountAll(old_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount);
+
+  const auto files_before = ForestDataFiles(dir);
+  VectorViewProvider delta;
+  FillCycle(&delta, views, 1);
+  ASSERT_OK(forest->ApplyDelta(&delta));
+
+  // The new generation serves new totals; the pinned one is unchanged.
+  ForestSnapshot new_snap = forest->AcquireSnapshot();
+  EXPECT_GT(new_snap.epoch(), old_epoch);
+  ASSERT_OK(CountAll(new_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount + kCycleCount);
+  ASSERT_OK(CountAll(old_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount);
+
+  // The replaced generation's files are retired but still on disk: the
+  // pinned epoch defers their unlink.
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.live_epoch, new_snap.epoch());
+  EXPECT_EQ(gc.pinned_epochs, 1u);
+  EXPECT_EQ(gc.unreclaimed_files, files_before.size());
+  EXPECT_EQ(gc.reclaimed_files, 0u);
+  auto files_during = ForestDataFiles(dir);
+  for (const std::string& f : files_before) {
+    EXPECT_TRUE(std::find(files_during.begin(), files_during.end(), f) !=
+                files_during.end())
+        << f << " deleted while a snapshot pinned its generation";
+  }
+
+  // Dropping the last pin reclaims exactly the replaced files.
+  new_snap.Release();
+  old_snap.Release();
+  gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 0u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+  EXPECT_EQ(gc.reclaimed_files, files_before.size());
+  auto files_after = ForestDataFiles(dir);
+  for (const std::string& f : files_before) {
+    EXPECT_TRUE(std::find(files_after.begin(), files_after.end(), f) ==
+                files_after.end())
+        << f << " still on disk after its last pinning epoch died";
+  }
+}
+
+TEST_F(OnlineRefreshTest, SnapshotSurvivesManyRefreshCyclesAndCompact) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(256);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+
+  ForestSnapshot pinned = forest->AcquireSnapshot();
+  const size_t num_trees = ForestDataFiles(dir).size();
+
+  for (uint32_t c = 1; c <= 3; ++c) {
+    VectorViewProvider delta;
+    FillCycle(&delta, views, c);
+    ASSERT_OK(forest->ApplyDelta(&delta));
+  }
+  VectorViewProvider partial;
+  FillCycle(&partial, views, 4);
+  ASSERT_OK(forest->ApplyDeltaPartial(&partial));
+  ASSERT_OK(forest->Compact());
+
+  // The pinned generation still answers with its original totals.
+  std::vector<uint64_t> counts;
+  ASSERT_OK(CountAll(pinned, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount);
+  ForestSnapshot live = forest->AcquireSnapshot();
+  ASSERT_OK(CountAll(live, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount + 4 * kCycleCount);
+  live.Release();
+
+  // Intermediate generations were never pinned: their files are already
+  // reclaimed even while the first snapshot stays alive. Only the pinned
+  // generation's files and the live set remain.
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 1u);
+  EXPECT_EQ(gc.unreclaimed_files, num_trees);
+  EXPECT_EQ(ForestDataFiles(dir).size(), 2 * num_trees);
+
+  pinned.Release();
+  gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 0u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+  EXPECT_EQ(ForestDataFiles(dir).size(), num_trees);
+}
+
+TEST_F(OnlineRefreshTest, PartialRefreshSharesMainTreeFiles) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(256);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+
+  ForestSnapshot old_snap = forest->AcquireSnapshot();
+  VectorViewProvider delta;
+  FillCycle(&delta, views, 1);
+  ASSERT_OK(forest->ApplyDeltaPartial(&delta));
+
+  // A partial refresh only adds delta trees: the main files are shared
+  // between the old and new generations, so nothing is retired.
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 1u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+
+  std::vector<uint64_t> counts;
+  ASSERT_OK(CountAll(old_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount);
+  ForestSnapshot new_snap = forest->AcquireSnapshot();
+  ASSERT_OK(CountAll(new_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount + kCycleCount);
+
+  old_snap.Release();
+  gc = forest->GcStats();
+  EXPECT_EQ(gc.reclaimed_files, 0u);  // Shared files must survive.
+  ASSERT_OK(CountAll(new_snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount + kCycleCount);
+}
+
+// --- Deadlines & cancellation -------------------------------------------
+
+TEST_F(OnlineRefreshTest, DeadlineBoundsQueryUnderStorageStall) {
+  const std::string dir = MakeTestDir("online");
+  {
+    BufferPool pool(256);
+    ASSERT_OK_AND_ASSIGN(auto forest,
+                         CubetreeForest::Create(ForestOptions(dir), &pool));
+    const auto views = PaperViews();
+    VectorViewProvider base;
+    FillBase(&base, views);
+    ASSERT_OK(forest->Build(views, &base));
+  }
+  // Reopen cold so the scan must hit the (now always-failing) read path.
+  BufferPool pool(256);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Open(ForestOptions(dir), &pool));
+  ASSERT_OK(FaultInjector::Instance().Arm("storage.page.read", "error"));
+  PageManager::SetReadRetryPolicy(4, 2000);
+
+  const auto timeout = std::chrono::milliseconds(100);
+  QueryContext ctx = QueryContext::WithTimeout(timeout);
+  QueryContext::Scope scope(&ctx);
+  const auto start = Clock::now();
+  ForestSnapshot snap = forest->AcquireSnapshot();
+  std::vector<uint64_t> counts;
+  const Status status = CountAll(snap, PaperViews(), &counts);
+  const auto elapsed = Clock::now() - start;
+
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  // Acceptance bound: a deadlined query returns within 2x its deadline
+  // even when storage stalls, because the retry loop's backoff is clipped
+  // to the remaining time and every page touch re-checks the context.
+  EXPECT_LE(elapsed, 2 * timeout)
+      << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+             .count()
+      << "ms for a 100ms deadline";
+}
+
+TEST_F(OnlineRefreshTest, CancelUnblocksStalledQueryFromAnotherThread) {
+  const std::string dir = MakeTestDir("online");
+  {
+    BufferPool pool(256);
+    ASSERT_OK_AND_ASSIGN(auto forest,
+                         CubetreeForest::Create(ForestOptions(dir), &pool));
+    const auto views = PaperViews();
+    VectorViewProvider base;
+    FillBase(&base, views);
+    ASSERT_OK(forest->Build(views, &base));
+  }
+  BufferPool pool(256);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Open(ForestOptions(dir), &pool));
+  ASSERT_OK(FaultInjector::Instance().Arm("storage.page.read", "error"));
+  // Effectively unbounded retries: only the cancel can end the query.
+  PageManager::SetReadRetryPolicy(1000000, 500);
+
+  QueryContext ctx;
+  Status status;
+  std::thread worker([&] {
+    QueryContext::Scope scope(&ctx);
+    ForestSnapshot snap = forest->AcquireSnapshot();
+    std::vector<uint64_t> counts;
+    status = CountAll(snap, PaperViews(), &counts);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto cancel_time = Clock::now();
+  ctx.Cancel();
+  worker.join();
+  const auto latency = Clock::now() - cancel_time;
+
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  EXPECT_LE(latency, std::chrono::seconds(2));
+}
+
+// --- Admission control ---------------------------------------------------
+
+TEST_F(OnlineRefreshTest, AdmissionShedsCheapestUnderOverload) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 2;
+  AdmissionController gate(options);
+
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket running, gate.Admit(100, nullptr));
+
+  Status cheap_status, mid_status, pricey_status;
+  std::thread cheap([&] {
+    auto r = gate.Admit(10, nullptr);
+    cheap_status = r.status();
+  });
+  std::thread mid([&] {
+    auto r = gate.Admit(50, nullptr);
+    mid_status = r.status();
+  });
+  for (int i = 0; i < 2000 && gate.queued() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(gate.queued(), 2);
+
+  // Queue full + this arrival is the cheapest of all: rejected with a
+  // retriable hint, nothing already queued loses its place.
+  auto rejected = gate.Admit(5, nullptr);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_TRUE(rejected.status().IsRetriable());
+  EXPECT_NE(rejected.status().ToString().find("retry-after-ms"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // Queue full + a pricier arrival: the cheapest waiter (cost 10) is shed
+  // to make room.
+  std::thread pricey([&] {
+    auto r = gate.Admit(200, nullptr);
+    pricey_status = r.status();
+  });
+  cheap.join();
+  EXPECT_TRUE(cheap_status.IsResourceExhausted()) << cheap_status.ToString();
+  EXPECT_TRUE(cheap_status.IsRetriable());
+
+  // Draining the running query admits the survivors in FIFO order.
+  running.Release();
+  mid.join();
+  pricey.join();
+  EXPECT_OK(mid_status);
+  EXPECT_OK(pricey_status);
+
+  const AdmissionController::Stats stats = gate.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(gate.active(), 0);
+  EXPECT_EQ(gate.queued(), 0);
+}
+
+TEST_F(OnlineRefreshTest, AdmissionQueueRespectsDeadlineAndCancel) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 4;
+  AdmissionController gate(options);
+  ASSERT_OK_AND_ASSIGN(AdmissionTicket running, gate.Admit(100, nullptr));
+
+  // Deadline expires while queued.
+  QueryContext deadline_ctx =
+      QueryContext::WithTimeout(std::chrono::milliseconds(50));
+  const auto start = Clock::now();
+  auto timed_out = gate.Admit(10, &deadline_ctx);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsDeadlineExceeded())
+      << timed_out.status().ToString();
+  EXPECT_LE(Clock::now() - start, std::chrono::milliseconds(1000));
+
+  // Cancelled from another thread while queued.
+  QueryContext cancel_ctx;
+  Status cancelled_status;
+  std::thread waiter([&] {
+    auto r = gate.Admit(10, &cancel_ctx);
+    cancelled_status = r.status();
+  });
+  for (int i = 0; i < 2000 && gate.queued() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cancel_ctx.Cancel();
+  waiter.join();
+  EXPECT_TRUE(cancelled_status.IsCancelled()) << cancelled_status.ToString();
+
+  const AdmissionController::Stats stats = gate.stats();
+  EXPECT_EQ(stats.deadline_exits, 2u);
+  EXPECT_EQ(gate.queued(), 0);
+}
+
+// --- Shared memory budget ------------------------------------------------
+
+TEST_F(OnlineRefreshTest, SorterSpillsEarlierUnderBudgetPressure) {
+  const std::string dir = MakeTestDir("online");
+  constexpr size_t kRecordSize = 64;
+  constexpr int kRecords = 1000;
+  auto key_less = [](const char* a, const char* b) {
+    uint64_t ka, kb;
+    std::memcpy(&ka, a, sizeof(ka));
+    std::memcpy(&kb, b, sizeof(kb));
+    return ka < kb;
+  };
+  auto add_all = [&](ExternalSorter* sorter) -> Status {
+    char rec[kRecordSize] = {};
+    for (int i = 0; i < kRecords; ++i) {
+      const uint64_t key = static_cast<uint64_t>(kRecords - i);
+      std::memcpy(rec, &key, sizeof(key));
+      CT_RETURN_NOT_OK(sorter->Add(rec));
+    }
+    return Status::OK();
+  };
+
+  // Unbudgeted: 1000 * 64B fits the nominal 1 MB buffer, no spill.
+  ExternalSorter::Options plain;
+  plain.record_size = kRecordSize;
+  plain.memory_budget_bytes = 1 << 20;
+  plain.temp_dir = dir;
+  ExternalSorter unbudgeted(plain, key_less);
+  ASSERT_OK(add_all(&unbudgeted));
+  EXPECT_EQ(unbudgeted.num_runs(), 0u);
+
+  // Same sort under memory pressure: the process budget only has 8 KB
+  // left, so the sorter takes the smaller buffer and spills runs instead
+  // of failing — and still produces the same sorted output.
+  MemoryBudget budget(1 << 20);
+  ASSERT_OK(budget.TryReserve((1 << 20) - 8192, "test hog"));
+  ExternalSorter::Options squeezed = plain;
+  squeezed.process_budget = &budget;
+  {
+    ExternalSorter sorter(squeezed, key_less);
+    ASSERT_OK(add_all(&sorter));
+    EXPECT_GT(sorter.num_runs(), 0u);
+    ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+    uint64_t prev = 0, n = 0;
+    while (true) {
+      const char* rec_out = nullptr;
+      ASSERT_OK(stream->Next(&rec_out));
+      if (rec_out == nullptr) break;
+      uint64_t key;
+      std::memcpy(&key, rec_out, sizeof(key));
+      EXPECT_GT(key, prev);
+      prev = key;
+      ++n;
+    }
+    EXPECT_EQ(n, static_cast<uint64_t>(kRecords));
+  }
+  // The sorter's reservation is returned when it dies.
+  EXPECT_EQ(budget.used(), (1u << 20) - 8192);
+}
+
+TEST_F(OnlineRefreshTest, SorterRejectsRetriablyWhenBudgetExhausted) {
+  const std::string dir = MakeTestDir("online");
+  MemoryBudget budget(4096);
+  ASSERT_OK(budget.TryReserve(4096, "test hog"));
+
+  ExternalSorter::Options options;
+  options.record_size = 64;
+  options.temp_dir = dir;
+  options.process_budget = &budget;
+  ExternalSorter sorter(options, [](const char*, const char*) {
+    return false;
+  });
+  char rec[64] = {};
+  const Status status = sorter.Add(rec);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_TRUE(status.IsRetriable());
+  EXPECT_NE(status.ToString().find("retry-after-ms"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(OnlineRefreshTest, BufferPoolDegradesToEvictionUnderBudget) {
+  const std::string dir = MakeTestDir("online");
+  ASSERT_OK_AND_ASSIGN(auto file,
+                       PageManager::Create(dir + "/pages.pg"));
+  // Budget covers two frames; the pool would happily hold eight.
+  MemoryBudget budget(2 * kPageSize);
+  BufferPool pool(8, &budget);
+
+  ASSERT_OK_AND_ASSIGN(PageHandle h1, pool.New(file.get()));
+  ASSERT_OK_AND_ASSIGN(PageHandle h2, pool.New(file.get()));
+  const PageId id1 = h1.id();
+
+  // Both charged frames pinned + budget refuses a third: hard failure,
+  // reported retriably so the caller can shed load instead of growing.
+  auto denied = pool.New(file.get());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.status().IsResourceExhausted())
+      << denied.status().ToString();
+  EXPECT_TRUE(denied.status().IsRetriable());
+
+  // With an unpinned frame available the pool degrades to eviction and
+  // stays inside its two-frame budget footprint.
+  h1.Release();
+  ASSERT_OK_AND_ASSIGN(PageHandle h3, pool.New(file.get()));
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_EQ(budget.used(), 2 * kPageSize);
+
+  // The evicted page is still readable (was written back on eviction).
+  h3.Release();
+  ASSERT_OK_AND_ASSIGN(PageHandle h1_again, pool.Fetch(file.get(), id1));
+  h1_again.Release();
+  h2.Release();
+}
+
+// --- The stress harness --------------------------------------------------
+
+/// >= 8 reader threads race >= 20 refresh cycles (full, partial, compact)
+/// with a transient read failpoint re-armed every cycle. Every reader
+/// iteration pins one snapshot and checks the lockstep invariant: all four
+/// views report base + k whole cycles, for one k, monotonically
+/// non-decreasing per reader. Readers alternate plain and deadlined
+/// contexts; deadline/cancel/IO outcomes are tolerated, torn states and
+/// cross-generation mixes are not.
+TEST_F(OnlineRefreshTest, StressReadersVsRefreshWithFailpoints) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(512);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+  const size_t num_trees = ForestDataFiles(dir).size();
+
+  constexpr int kReaders = 8;
+  constexpr uint32_t kCycles = 24;
+  // Generous retry ceiling so each cycle's 4-shot transient failpoint is
+  // always absorbed by the page-read retry loop.
+  PageManager::SetReadRetryPolicy(8, 50);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> good_reads{0};
+  std::atomic<uint64_t> tolerated_reads{0};
+  std::vector<std::string> reader_errors(kReaders);
+
+  auto reader = [&](int r) {
+    uint64_t last_k = 0;
+    uint64_t iter = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++iter;
+      // Every fourth iteration runs under a tight deadline to exercise
+      // the context checks on hit and miss paths concurrently.
+      std::optional<QueryContext> ctx;
+      if (iter % 4 == 0) {
+        ctx.emplace(
+            QueryContext::WithTimeout(std::chrono::milliseconds(20)));
+      }
+      QueryContext::Scope scope(ctx.has_value() ? &*ctx : nullptr);
+      ForestSnapshot snap = forest->AcquireSnapshot();
+      std::vector<uint64_t> counts;
+      const Status status = CountAll(snap, views, &counts);
+      if (!status.ok()) {
+        if (status.IsDeadlineExceeded() || status.IsCancelled() ||
+            status.IsRetriable() || status.IsIOError()) {
+          tolerated_reads.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (reader_errors[r].empty()) {
+          reader_errors[r] = "read failed: " + status.ToString();
+        }
+        return;
+      }
+      // Lockstep invariant: one committed generation, never a mix.
+      std::string bad;
+      for (size_t i = 1; i < counts.size(); ++i) {
+        if (counts[i] != counts[0]) bad = "views disagree";
+      }
+      if (counts[0] < kBaseCount ||
+          (counts[0] - kBaseCount) % kCycleCount != 0) {
+        bad = "count is not base + whole cycles";
+      }
+      const uint64_t k = (counts[0] - kBaseCount) / kCycleCount;
+      if (bad.empty() && k < last_k) bad = "snapshot went backwards";
+      if (bad.empty() && k > kCycles) bad = "more cycles than applied";
+      if (!bad.empty()) {
+        if (reader_errors[r].empty()) {
+          reader_errors[r] = bad + " at epoch " +
+                             std::to_string(snap.epoch()) + ": " +
+                             std::to_string(counts[0]) + "/" +
+                             std::to_string(counts[1]) + "/" +
+                             std::to_string(counts[2]) + "/" +
+                             std::to_string(counts[3]);
+        }
+        return;
+      }
+      last_k = k;
+      good_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) readers.emplace_back(reader, r);
+
+  // The refresh stream: mostly full merge-pack refreshes, a partial every
+  // fifth cycle, a compaction after each partial. A fresh 4-shot transient
+  // read fault is armed each cycle, so both refresh builds and concurrent
+  // reader scans keep tripping (and absorbing) injected errors.
+  std::string refresh_error;
+  for (uint32_t c = 1; c <= kCycles && refresh_error.empty(); ++c) {
+    EXPECT_OK(FaultInjector::Instance().Arm("storage.page.read",
+                                            "error(4)@7"));
+    VectorViewProvider delta;
+    FillCycle(&delta, views, c);
+    Status applied;
+    if (c % 5 == 0) {
+      applied = forest->ApplyDeltaPartial(&delta);
+      if (applied.ok()) applied = forest->Compact();
+    } else {
+      applied = forest->ApplyDelta(&delta);
+    }
+    if (!applied.ok()) {
+      refresh_error =
+          "cycle " + std::to_string(c) + ": " + applied.ToString();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  FaultInjector::Instance().DisarmAll();
+
+  EXPECT_TRUE(refresh_error.empty()) << refresh_error;
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(reader_errors[r].empty())
+        << "reader " << r << ": " << reader_errors[r];
+  }
+  EXPECT_GE(good_reads.load(), static_cast<uint64_t>(kReaders));
+
+  // Quiesced end state: the final generation serves base + all cycles...
+  ForestSnapshot final_snap = forest->AcquireSnapshot();
+  std::vector<uint64_t> counts;
+  ASSERT_OK(CountAll(final_snap, views, &counts));
+  for (uint64_t c : counts) {
+    EXPECT_EQ(c, kBaseCount + kCycles * kCycleCount);
+  }
+  final_snap.Release();
+
+  // ...every retired epoch died with its readers, and no retired file
+  // leaked to disk: exactly the live tree set remains.
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 0u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+  EXPECT_GT(gc.reclaimed_files, 0u);
+  EXPECT_EQ(ForestDataFiles(dir).size(), num_trees);
+}
+
+/// Readers holding snapshots across whole refresh cycles (long-running
+/// "dashboard" scans): pins outlive several generations and reclamation
+/// happens strictly after the last release, never under a reader.
+TEST_F(OnlineRefreshTest, StressLongPinsDeferReclamation) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(512);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+  const size_t num_trees = ForestDataFiles(dir).size();
+
+  constexpr int kReaders = 8;
+  constexpr uint32_t kCycles = 20;
+  std::atomic<bool> stop{false};
+  std::vector<std::string> reader_errors(kReaders);
+
+  // Each reader pins a snapshot, re-reads it several times (its totals
+  // must never move), releases, and re-pins a fresh one.
+  auto reader = [&](int r) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ForestSnapshot snap = forest->AcquireSnapshot();
+      std::vector<uint64_t> first, again;
+      for (int pass = 0; pass < 3; ++pass) {
+        std::vector<uint64_t>* out = pass == 0 ? &first : &again;
+        const Status status = CountAll(snap, views, out);
+        if (!status.ok()) {
+          if (reader_errors[r].empty()) {
+            reader_errors[r] = status.ToString();
+          }
+          return;
+        }
+        if (pass > 0 && again != first) {
+          if (reader_errors[r].empty()) {
+            reader_errors[r] = "pinned snapshot changed between passes";
+          }
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) readers.emplace_back(reader, r);
+
+  std::string refresh_error;
+  for (uint32_t c = 1; c <= kCycles && refresh_error.empty(); ++c) {
+    VectorViewProvider delta;
+    FillCycle(&delta, views, c);
+    const Status applied = forest->ApplyDelta(&delta);
+    if (!applied.ok()) {
+      refresh_error =
+          "cycle " + std::to_string(c) + ": " + applied.ToString();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_TRUE(refresh_error.empty()) << refresh_error;
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_TRUE(reader_errors[r].empty())
+        << "reader " << r << ": " << reader_errors[r];
+  }
+
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 0u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+  EXPECT_EQ(ForestDataFiles(dir).size(), num_trees);
+}
+
+}  // namespace
+}  // namespace cubetree
