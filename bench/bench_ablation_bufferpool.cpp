@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "engine/conventional_engine.h"
 #include "engine/cubetree_engine.h"
@@ -17,6 +18,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_bufferpool");
   bench::PrintHeader("Ablation: query I/O vs buffer pool size", args);
 
   auto setup = bench::ComputeTpcdViews(args, bench::PaperViews(true),
@@ -85,11 +87,18 @@ int Run(int argc, char** argv) {
       conv_seconds = disk.ModeledSeconds(*io - before);
     }
     std::printf("%-12zu %18.3f %18.3f\n", pages, conv_seconds, cbt_seconds);
+    if (json.enabled()) {
+      obs::JsonValue& entry = json.results().Set(
+          std::to_string(pages) + "_pages", obs::JsonValue::MakeObject());
+      entry.Set("conv_modeled_seconds", obs::JsonValue(conv_seconds));
+      entry.Set("cbt_modeled_seconds", obs::JsonValue(cbt_seconds));
+    }
   }
   std::printf("\n(cubetree query I/O should be nearly flat across pool "
               "sizes; the conventional path degrades as index+heap "
               "working sets fall out of memory)\n");
   bench::CheckOk(setup.data->Destroy(), "cleanup");
+  json.Finish();
   return 0;
 }
 

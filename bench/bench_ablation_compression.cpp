@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "engine/cubetree_engine.h"
@@ -21,6 +22,7 @@ struct Variant {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_compression");
   bench::PrintHeader("Ablation: packed-leaf compression on/off", args);
 
   auto setup = bench::ComputeTpcdViews(args, bench::PaperViews(true),
@@ -130,6 +132,15 @@ int Run(int argc, char** argv) {
               100.0 * (1.0 - static_cast<double>(fig6_sizes[0]) /
                                  fig6_sizes[1]));
   bench::CheckOk(data->Destroy(), "cleanup fig6");
+  if (json.enabled()) {
+    json.results().Set("tpcd_compressed_bytes", obs::JsonValue(sizes[0]));
+    json.results().Set("tpcd_uncompressed_bytes", obs::JsonValue(sizes[1]));
+    json.results().Set("fig6_compressed_bytes",
+                       obs::JsonValue(fig6_sizes[0]));
+    json.results().Set("fig6_uncompressed_bytes",
+                       obs::JsonValue(fig6_sizes[1]));
+    json.Finish();
+  }
   return 0;
 }
 

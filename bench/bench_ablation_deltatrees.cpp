@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -31,6 +32,7 @@ double QueryBatchSeconds(Warehouse* warehouse, int queries, uint64_t seed) {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_deltatrees");
   bench::PrintHeader(
       "Ablation: delta-tree refresh vs full merge-pack (1 week of 2% "
       "daily increments)",
@@ -74,10 +76,20 @@ int Run(int argc, char** argv) {
                 refresh_total,
                 bench::HumanBytes(warehouse->cubetrees()->StorageBytes())
                     .c_str());
+    if (json.enabled()) {
+      obs::JsonValue& entry = json.results().Set(
+          partial ? "delta_trees" : "merge_pack",
+          obs::JsonValue::MakeObject());
+      entry.Set("total_refresh_modeled_seconds",
+                obs::JsonValue(refresh_total));
+      entry.Set("forest_bytes",
+                obs::JsonValue(warehouse->cubetrees()->StorageBytes()));
+    }
   }
   std::printf("\n(delta trees make each day's window ~increment-sized and "
               "defer the full rewrite to one compaction; query cost drifts "
               "up slightly as deltas accumulate)\n");
+  json.Finish();
   return 0;
 }
 

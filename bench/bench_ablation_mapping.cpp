@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "engine/cubetree_engine.h"
@@ -15,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_mapping");
   bench::PrintHeader(
       "Ablation: SelectMapping vs one tree per view", args);
 
@@ -55,15 +57,27 @@ int Run(int argc, char** argv) {
         bench::CheckOk(engine->Execute(query, nullptr).status(), "query");
       }
     }
+    const size_t trees = engine->forest()->num_trees();
+    const uint64_t bytes = engine->StorageBytes();
+    const double query_s = disk.ModeledSeconds(*io - before);
+    const double hit_ratio = pool.stats().HitRatio();
     std::printf("%-16s %7zu %12llu %14.3f %16.3f %9.1f%%\n", variant.name,
-                engine->forest()->num_trees(),
-                static_cast<unsigned long long>(engine->StorageBytes()),
-                build_s, disk.ModeledSeconds(*io - before),
-                100.0 * pool.stats().HitRatio());
+                trees, static_cast<unsigned long long>(bytes), build_s,
+                query_s, 100.0 * hit_ratio);
+    if (json.enabled()) {
+      obs::JsonValue& entry =
+          json.results().Set(variant.name, obs::JsonValue::MakeObject());
+      entry.Set("trees", obs::JsonValue(static_cast<uint64_t>(trees)));
+      entry.Set("bytes", obs::JsonValue(bytes));
+      entry.Set("build_wall_seconds", obs::JsonValue(build_s));
+      entry.Set("query_modeled_seconds", obs::JsonValue(query_s));
+      entry.Set("buffer_hit_ratio", obs::JsonValue(hit_ratio));
+    }
   }
   std::printf("\n(paper: SelectMapping uses the minimal number of trees "
               "while keeping every view in a contiguous leaf run)\n");
   bench::CheckOk(setup.data->Destroy(), "cleanup");
+  json.Finish();
   return 0;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "engine/cubetree_engine.h"
 #include "storage/buffer_pool.h"
@@ -15,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_replication");
   bench::PrintHeader("Ablation: top-view sort-order replication", args);
 
   struct Variant {
@@ -42,6 +44,13 @@ int Run(int argc, char** argv) {
 
     std::printf("\n%s: storage %s\n", variant.name,
                 bench::HumanBytes(engine->StorageBytes()).c_str());
+    obs::JsonValue* variant_json = nullptr;
+    if (json.enabled()) {
+      variant_json = &json.results().Set(variant.name,
+                                         obs::JsonValue::MakeObject());
+      variant_json->Set("storage_bytes",
+                        obs::JsonValue(engine->StorageBytes()));
+    }
     std::printf("  %-34s %16s %14s\n", "query class (on V{p,s,c})",
                 "query 1997(s)", "tuples/query");
     // One class per bound attribute of the top view.
@@ -61,16 +70,26 @@ int Run(int argc, char** argv) {
         bench::CheckOk(engine->Execute(query, &stats).status(), "query");
         tuples += stats.tuples_accessed;
       }
+      const double modeled_s = disk.ModeledSeconds(*io - before);
+      const double tuples_per_query =
+          static_cast<double>(tuples) / args.queries;
       std::printf("  bind %-29s %16.3f %14.0f\n",
-                  setup.schema.attr_names[bound].c_str(),
-                  disk.ModeledSeconds(*io - before),
-                  static_cast<double>(tuples) / args.queries);
+                  setup.schema.attr_names[bound].c_str(), modeled_s,
+                  tuples_per_query);
+      if (variant_json != nullptr) {
+        obs::JsonValue& entry = variant_json->Set(
+            "bind_" + setup.schema.attr_names[bound],
+            obs::JsonValue::MakeObject());
+        entry.Set("modeled_seconds", obs::JsonValue(modeled_s));
+        entry.Set("tuples_per_query", obs::JsonValue(tuples_per_query));
+      }
     }
     bench::CheckOk(setup.data->Destroy(), "cleanup");
   }
   std::printf("\n(paper: replicas substitute for the 3 selected B-tree "
               "orders; without them, queries binding attributes early in "
               "the projection list scan far more of the view)\n");
+  json.Finish();
   return 0;
 }
 

@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "rtree/packed_rtree.h"
 #include "rtree/zorder.h"
@@ -66,6 +67,7 @@ double AvgLeafPages(PackedRTree* tree, const std::vector<Rect>& queries) {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_ablation_zorder");
   bench::PrintHeader(
       "Ablation: pack-order vs Z-order (space-filling curve) packing",
       args);
@@ -137,9 +139,15 @@ int Run(int argc, char** argv) {
     }
     char label[64];
     std::snprintf(label, sizeof(label), "slice %s = const", names[attr]);
-    std::printf("%-26s %18.1f %18.1f\n", label,
-                AvgLeafPages(pack_tree.get(), queries),
-                AvgLeafPages(z_tree.get(), queries));
+    const double pack_pages = AvgLeafPages(pack_tree.get(), queries);
+    const double z_pages = AvgLeafPages(z_tree.get(), queries);
+    std::printf("%-26s %18.1f %18.1f\n", label, pack_pages, z_pages);
+    if (json.enabled()) {
+      obs::JsonValue& entry =
+          json.results().Set(label, obs::JsonValue::MakeObject());
+      entry.Set("pack_leaf_pages_per_query", obs::JsonValue(pack_pages));
+      entry.Set("zorder_leaf_pages_per_query", obs::JsonValue(z_pages));
+    }
   }
   {
     std::vector<Rect> queries;
@@ -163,6 +171,7 @@ int Run(int argc, char** argv) {
               "everywhere — and it would interleave the views of a shared "
               "tree, forfeiting compression and merge-pack, which is why "
               "the paper rules it out)\n");
+  json.Finish();
   return 0;
 }
 

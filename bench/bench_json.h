@@ -1,0 +1,116 @@
+#ifndef CUBETREE_BENCH_BENCH_JSON_H_
+#define CUBETREE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "storage/io_stats.h"
+
+namespace cubetree {
+namespace bench {
+
+/// Machine-readable result emitter shared by every bench_* binary. When
+/// the run was started with --json=<path>, Finish() writes one JSON
+/// document with a stable envelope:
+///
+///   {
+///     "schema_version": 1,
+///     "bench": "<binary name>",
+///     "config": {"sf": .., "queries": .., "dir": "..", "seed": ..},
+///     "wall_seconds": <construction-to-Finish wall time>,
+///     "modeled_disk_seconds": <sum over AddIoStats on the 1997 disk>,
+///     "io": {"<phase>": {sequential_reads, random_reads,
+///                        sequential_writes, random_writes,
+///                        modeled_seconds}, ...},
+///     "metrics": <MetricsRegistry snapshot>,
+///     "results": {<bench-specific numbers via results()>}
+///   }
+///
+/// Without --json every method is a cheap no-op, so the human-readable
+/// output path is untouched. The process-wide metrics registry is zeroed
+/// at construction so the embedded snapshot covers exactly this run.
+class JsonWriter {
+ public:
+  JsonWriter(const BenchArgs& args, std::string bench_name)
+      : path_(args.json_path), bench_name_(std::move(bench_name)) {
+    if (!enabled()) return;
+    obs::MetricsRegistry::Instance().ResetAll();
+    root_ = obs::JsonValue::MakeObject();
+    root_.Set("schema_version", obs::JsonValue(static_cast<int64_t>(1)));
+    root_.Set("bench", obs::JsonValue(bench_name_));
+    obs::JsonValue& config = root_.Set("config", obs::JsonValue::MakeObject());
+    config.Set("sf", obs::JsonValue(args.sf));
+    config.Set("queries", obs::JsonValue(static_cast<int64_t>(args.queries)));
+    config.Set("dir", obs::JsonValue(args.dir));
+    config.Set("seed", obs::JsonValue(args.seed));
+    io_ = obs::JsonValue::MakeObject();
+    results_ = obs::JsonValue::MakeObject();
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records the I/O counters of one phase/configuration under `name` and
+  /// adds its modeled 1997-disk time to the run total.
+  void AddIoStats(const std::string& name, const IoStats& io,
+                  const DiskModel& model = DiskModel()) {
+    if (!enabled()) return;
+    const double modeled = model.ModeledSeconds(io);
+    modeled_disk_seconds_ += modeled;
+    obs::JsonValue& entry = io_.Set(name, obs::JsonValue::MakeObject());
+    entry.Set("sequential_reads", obs::JsonValue(io.sequential_reads.load()));
+    entry.Set("random_reads", obs::JsonValue(io.random_reads.load()));
+    entry.Set("sequential_writes",
+              obs::JsonValue(io.sequential_writes.load()));
+    entry.Set("random_writes", obs::JsonValue(io.random_writes.load()));
+    entry.Set("modeled_seconds", obs::JsonValue(modeled));
+  }
+
+  /// Bench-specific payload; populate freely (no-op sink when disabled).
+  obs::JsonValue& results() { return results_; }
+
+  /// Assembles the envelope and writes it to the --json path. Exits with
+  /// a message on write failure so CI never mistakes a truncated file for
+  /// a result.
+  void Finish() {
+    if (!enabled() || finished_) return;
+    finished_ = true;
+    root_.Set("wall_seconds", obs::JsonValue(timer_.ElapsedSeconds()));
+    root_.Set("modeled_disk_seconds", obs::JsonValue(modeled_disk_seconds_));
+    root_.Set("io", std::move(io_));
+    root_.Set("metrics", obs::MetricsRegistry::Instance().SnapshotJson());
+    root_.Set("results", std::move(results_));
+    const std::string text = root_.Dump() + "\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    bool ok = f != nullptr &&
+              std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (f != nullptr) ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", path_.c_str());
+      std::exit(1);
+    }
+    std::printf("json results written to %s\n", path_.c_str());
+  }
+
+ private:
+  const std::string path_;
+  const std::string bench_name_;
+  Timer timer_;
+  double modeled_disk_seconds_ = 0;
+  bool finished_ = false;
+  obs::JsonValue root_;
+  obs::JsonValue io_;
+  obs::JsonValue results_;
+};
+
+}  // namespace bench
+}  // namespace cubetree
+
+#endif  // CUBETREE_BENCH_BENCH_JSON_H_

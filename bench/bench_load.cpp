@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace cubetree {
@@ -19,6 +20,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_load");
   bench::PrintHeader("Table 6: initial load of the TPC-D view set", args);
 
   auto warehouse = bench::CheckOk(
@@ -78,6 +80,32 @@ int Run(int argc, char** argv) {
                   .c_str(),
               bench::HumanBytes(warehouse->cubetrees()->StorageBytes())
                   .c_str());
+  if (json.enabled()) {
+    const DiskModel& disk = warehouse->options().disk;
+    IoStats conv_io = conv.views.io;
+    conv_io += conv.indices.io;
+    json.AddIoStats("conventional", conv_io, disk);
+    json.AddIoStats("cubetrees", cbt.views.io, disk);
+    json.results().Set("conv_wall_seconds",
+                       obs::JsonValue(conv.TotalWallSeconds()));
+    json.results().Set("cbt_wall_seconds",
+                       obs::JsonValue(cbt.TotalWallSeconds()));
+    json.results().Set("conv_modeled_seconds",
+                       obs::JsonValue(conv.TotalModeledSeconds()));
+    json.results().Set("cbt_modeled_seconds",
+                       obs::JsonValue(cbt.TotalModeledSeconds()));
+    json.results().Set(
+        "speedup_modeled",
+        obs::JsonValue(conv.TotalModeledSeconds() /
+                       cbt.TotalModeledSeconds()));
+    json.results().Set(
+        "conv_storage_bytes",
+        obs::JsonValue(warehouse->conventional()->StorageBytes()));
+    json.results().Set(
+        "cbt_storage_bytes",
+        obs::JsonValue(warehouse->cubetrees()->StorageBytes()));
+    json.Finish();
+  }
   return 0;
 }
 

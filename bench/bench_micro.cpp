@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "btree/btree.h"
 #include "common/coding.h"
 #include "common/rng.h"
@@ -207,4 +209,63 @@ BENCHMARK(BM_ExternalSort)->Arg(100000)->Arg(500000);
 }  // namespace
 }  // namespace cubetree
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peels off --json=<path> before
+// handing the remaining flags to google-benchmark, then embeds the
+// library's own JSON report inside the shared bench envelope so this
+// binary emits the same schema as the macro benches. The library insists
+// on writing its file report itself, so we route it through a sidecar
+// file (--benchmark_out) and fold that into the envelope afterwards.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> pass_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      pass_args.push_back(argv[i]);
+    }
+  }
+  const std::string gbench_path = json_path + ".gbench";
+  std::string out_flag = "--benchmark_out=" + gbench_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    pass_args.push_back(out_flag.data());
+    pass_args.push_back(format_flag.data());
+  }
+  int pass_argc = static_cast<int>(pass_args.size());
+  benchmark::Initialize(&pass_argc, pass_args.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, pass_args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  cubetree::bench::BenchArgs args;
+  args.json_path = json_path;
+  cubetree::bench::JsonWriter json(args, "bench_micro");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::string report;
+  if (std::FILE* f = std::fopen(gbench_path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      report.append(buf, n);
+    }
+    std::fclose(f);
+    std::remove(gbench_path.c_str());
+  }
+  auto parsed = cubetree::obs::JsonValue::Parse(report);
+  if (parsed.ok()) {
+    json.results().Set("google_benchmark", std::move(*parsed));
+  } else {
+    json.results().Set("google_benchmark_parse_error",
+                       cubetree::obs::JsonValue(parsed.status().message()));
+  }
+  json.Finish();
+  return 0;
+}

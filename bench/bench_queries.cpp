@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -28,6 +29,7 @@ struct BatchCost {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_queries");
   bench::PrintHeader(
       "Figure 12: 100 random slice queries per lattice view", args);
 
@@ -62,6 +64,7 @@ int Run(int argc, char** argv) {
               "conv wall(s)", "cbt wall(s)", "conv 1997(s)", "cbt 1997(s)",
               "speedup");
   BatchCost conv_total, cbt_total;
+  obs::JsonValue per_view = obs::JsonValue::MakeObject();
   for (size_t i = 0; i < lattice.num_nodes(); ++i) {
     const LatticeNode& node = lattice.node(i);
     if (node.attrs.empty()) continue;  // Skip the scalar node, as paper.
@@ -80,6 +83,14 @@ int Run(int argc, char** argv) {
                 bench::NodeName(schema, node.attrs).c_str(), conv.wall,
                 cbt.wall, conv.modeled, cbt.modeled,
                 (conv.wall + conv.modeled) / (cbt.wall + cbt.modeled));
+    if (json.enabled()) {
+      obs::JsonValue& entry = per_view.Set(
+          bench::NodeName(schema, node.attrs), obs::JsonValue::MakeObject());
+      entry.Set("conv_wall_seconds", obs::JsonValue(conv.wall));
+      entry.Set("cbt_wall_seconds", obs::JsonValue(cbt.wall));
+      entry.Set("conv_modeled_seconds", obs::JsonValue(conv.modeled));
+      entry.Set("cbt_modeled_seconds", obs::JsonValue(cbt.modeled));
+    }
   }
   std::printf("%-26s | %12.3f %12.3f | %12.3f %12.3f | %7.1fx\n", "TOTAL",
               conv_total.wall, cbt_total.wall, conv_total.modeled,
@@ -88,6 +99,23 @@ int Run(int argc, char** argv) {
                   (cbt_total.wall + cbt_total.modeled));
   std::printf("\n(speedup = (wall + modeled I/O) ratio; paper: cubetrees "
               "faster on every view, ~10x average)\n");
+  if (json.enabled()) {
+    json.AddIoStats("conventional", *warehouse->conventional_io(), disk);
+    json.AddIoStats("cubetrees", *warehouse->cubetree_io(), disk);
+    json.results().Set("per_view", std::move(per_view));
+    json.results().Set("conv_total_wall_seconds",
+                       obs::JsonValue(conv_total.wall));
+    json.results().Set("cbt_total_wall_seconds",
+                       obs::JsonValue(cbt_total.wall));
+    json.results().Set("conv_total_modeled_seconds",
+                       obs::JsonValue(conv_total.modeled));
+    json.results().Set("cbt_total_modeled_seconds",
+                       obs::JsonValue(cbt_total.modeled));
+    json.results().Set(
+        "speedup", obs::JsonValue((conv_total.wall + conv_total.modeled) /
+                                  (cbt_total.wall + cbt_total.modeled)));
+    json.Finish();
+  }
   return 0;
 }
 

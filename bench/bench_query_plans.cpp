@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -16,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_query_plans");
   bench::PrintHeader(
       "Section 3.3: plan validation — view scan vs top-view index", args);
 
@@ -27,7 +29,8 @@ int Run(int argc, char** argv) {
 
   // Q1: SELECT partkey, SUM(quantity) FROM F WHERE suppkey = S
   //     GROUP BY partkey — the paper's example query.
-  auto measure = [&](ViewStore* engine, IoStats* io, std::string* plan) {
+  auto measure = [&](ViewStore* engine, IoStats* io, std::string* plan,
+                     const char* tag) {
     SliceQueryGenerator gen = warehouse->MakeQueryGenerator(args.seed);
     const IoStats before = *io;
     Timer timer;
@@ -45,10 +48,19 @@ int Run(int argc, char** argv) {
       tuples += stats.tuples_accessed;
       *plan = stats.plan;
     }
+    const double seconds =
+        timer.ElapsedSeconds() + disk.ModeledSeconds(*io - before);
     std::printf("    plan: %-46s %10.3fs (1997)  %8.0f tuples/query\n",
-                plan->c_str(),
-                timer.ElapsedSeconds() + disk.ModeledSeconds(*io - before),
+                plan->c_str(), seconds,
                 static_cast<double>(tuples) / args.queries);
+    if (json.enabled()) {
+      obs::JsonValue& entry =
+          json.results().Set(tag, obs::JsonValue::MakeObject());
+      entry.Set("plan", obs::JsonValue(*plan));
+      entry.Set("seconds_1997", obs::JsonValue(seconds));
+      entry.Set("tuples_per_query",
+                obs::JsonValue(static_cast<double>(tuples) / args.queries));
+    }
   };
 
   std::string plan;
@@ -56,9 +68,10 @@ int Run(int argc, char** argv) {
               "GROUP BY partkey (x%d)\n", args.queries);
   std::printf("  conventional (planner's choice):\n");
   measure(warehouse->conventional(), warehouse->conventional_io().get(),
-          &plan);
+          &plan, "conventional");
   std::printf("  cubetrees (router's choice):\n");
-  measure(warehouse->cubetrees(), warehouse->cubetree_io().get(), &plan);
+  measure(warehouse->cubetrees(), warehouse->cubetree_io().get(), &plan,
+          "cubetrees");
 
   std::printf("\n(the paper found the indexed top-view plan beats scanning "
               "the smaller V{partkey,suppkey} on the relational side — the "
@@ -66,6 +79,11 @@ int Run(int argc, char** argv) {
               "side has no such dilemma: V{partkey,suppkey} is packed with "
               "suppkey as the most significant sort key, so the exact view "
               "IS the indexed plan.)\n");
+  if (json.enabled()) {
+    json.AddIoStats("conventional", *warehouse->conventional_io(), disk);
+    json.AddIoStats("cubetrees", *warehouse->cubetree_io(), disk);
+    json.Finish();
+  }
   return 0;
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -16,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_range_queries");
   bench::PrintHeader(
       "Range-query extension: BETWEEN bands at several widths", args);
 
@@ -55,10 +57,22 @@ int Run(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100);
     std::printf("%-12s %16.3f %16.3f %8.1fx\n", label, conv_total,
                 cbt_total, conv_total / cbt_total);
+    if (json.enabled()) {
+      obs::JsonValue& entry =
+          json.results().Set(label, obs::JsonValue::MakeObject());
+      entry.Set("conv_modeled_seconds", obs::JsonValue(conv_total));
+      entry.Set("cbt_modeled_seconds", obs::JsonValue(cbt_total));
+      entry.Set("ratio", obs::JsonValue(conv_total / cbt_total));
+    }
   }
   std::printf("\n(paper's expectation: the Cubetree advantage grows when "
               "predicates are bounded ranges — boxes prune leaf runs, "
               "while B-trees only use a range on their leading key)\n");
+  if (json.enabled()) {
+    json.AddIoStats("conventional", *warehouse->conventional_io(), disk);
+    json.AddIoStats("cubetrees", *warehouse->cubetree_io(), disk);
+    json.Finish();
+  }
   return 0;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -44,6 +45,7 @@ PerViewTimes Measure(Warehouse* warehouse, const bench::BenchArgs& args) {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_scalability");
   bench::PrintHeader(
       "Figure 14: Cubetree scalability (dataset x1 vs x2)", args);
 
@@ -81,6 +83,20 @@ int Run(int argc, char** argv) {
               total2 / total1);
   std::printf("\n(paper: query time practically unaffected by doubling "
               "the input; small growth tracks output size)\n");
+  if (json.enabled()) {
+    obs::JsonValue per_view = obs::JsonValue::MakeObject();
+    for (size_t i = 0; i < base.names.size(); ++i) {
+      obs::JsonValue& entry =
+          per_view.Set(base.names[i], obs::JsonValue::MakeObject());
+      entry.Set("x1_seconds", obs::JsonValue(base.seconds[i]));
+      entry.Set("x2_seconds", obs::JsonValue(doubled.seconds[i]));
+    }
+    json.results().Set("per_view", std::move(per_view));
+    json.results().Set("x1_total_seconds", obs::JsonValue(total1));
+    json.results().Set("x2_total_seconds", obs::JsonValue(total2));
+    json.results().Set("ratio", obs::JsonValue(total2 / total1));
+    json.Finish();
+  }
   return 0;
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "olap/lattice.h"
 #include "olap/selection.h"
@@ -16,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_selection");
   bench::PrintHeader("Section 3: 1-greedy view & index selection (SF=1 "
                      "statistics)",
                      args);
@@ -62,6 +64,19 @@ int Run(int argc, char** argv) {
     std::printf("%s ", index.Name(schema).c_str());
   }
   std::printf("\n");
+  if (json.enabled()) {
+    obs::JsonValue views = obs::JsonValue::MakeArray();
+    for (const ViewDef& v : result.views) {
+      views.Append(obs::JsonValue(v.Name(schema)));
+    }
+    obs::JsonValue indices = obs::JsonValue::MakeArray();
+    for (const IndexDef& index : result.indices) {
+      indices.Append(obs::JsonValue(index.Name(schema)));
+    }
+    json.results().Set("selected_views", std::move(views));
+    json.results().Set("selected_indices", std::move(indices));
+    json.Finish();
+  }
   return 0;
 }
 

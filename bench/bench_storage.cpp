@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "cubetree/forest.h"
 
@@ -15,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_storage");
   bench::PrintHeader("Section 3.2: storage of the two organizations", args);
 
   auto warehouse = bench::CheckOk(
@@ -81,6 +83,20 @@ int Run(int argc, char** argv) {
     std::printf("      leaf pages are %.0f%% of the file (paper: ~90%% "
                 "compressed leaves)\n",
                 100.0 * leaf_fraction);
+  }
+  if (json.enabled()) {
+    const DiskModel& disk = warehouse->options().disk;
+    json.AddIoStats("conventional", *warehouse->conventional_io(), disk);
+    json.AddIoStats("cubetrees", *warehouse->cubetree_io(), disk);
+    json.results().Set("conv_table_bytes", obs::JsonValue(tables));
+    json.results().Set("conv_index_bytes", obs::JsonValue(indices));
+    json.results().Set("conv_total_bytes", obs::JsonValue(conv_total));
+    json.results().Set("cbt_forest_bytes", obs::JsonValue(forest));
+    json.results().Set(
+        "storage_ratio",
+        obs::JsonValue(static_cast<double>(conv_total) /
+                       static_cast<double>(forest)));
+    json.Finish();
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -27,6 +28,7 @@ struct Throughput {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_throughput");
   bench::PrintHeader("Figure 13: system throughput (queries/sec)", args);
 
   auto warehouse = bench::CheckOk(
@@ -82,6 +84,22 @@ int Run(int argc, char** argv) {
   std::printf("conventional max vs cubetree min: %.2f (paper: peak of "
               "conventional barely matches the cubetree low)\n",
               conv.max_qps / cbt.min_qps);
+  if (json.enabled()) {
+    json.AddIoStats("conventional", *warehouse->conventional_io(), disk);
+    json.AddIoStats("cubetrees", *warehouse->cubetree_io(), disk);
+    auto emit = [&](const char* name, const Throughput& t) {
+      obs::JsonValue& entry =
+          json.results().Set(name, obs::JsonValue::MakeObject());
+      entry.Set("min_qps", obs::JsonValue(t.min_qps));
+      entry.Set("avg_qps", obs::JsonValue(t.avg_qps));
+      entry.Set("max_qps", obs::JsonValue(t.max_qps));
+    };
+    emit("conventional", conv);
+    emit("cubetrees", cbt);
+    json.results().Set("avg_throughput_ratio",
+                       obs::JsonValue(cbt.avg_qps / conv.avg_qps));
+    json.Finish();
+  }
   return 0;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 namespace cubetree {
@@ -19,6 +20,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::JsonWriter json(args, "bench_updates");
   bench::PrintHeader("Table 7: 10% increment refresh, three methods", args);
 
   auto warehouse = bench::CheckOk(
@@ -71,6 +73,28 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(cbt.io.random_reads +
                                               cbt.io.random_writes),
               static_cast<unsigned long long>(cbt.io.TotalOps()));
+  if (json.enabled()) {
+    const DiskModel& disk = warehouse->options().disk;
+    json.AddIoStats("incremental", inc.io, disk);
+    json.AddIoStats("recompute", rec.io, disk);
+    json.AddIoStats("merge_pack", cbt.io, disk);
+    auto method = [&](const char* name, const PhaseReport& r) {
+      obs::JsonValue& entry =
+          json.results().Set(name, obs::JsonValue::MakeObject());
+      entry.Set("wall_seconds", obs::JsonValue(r.wall_seconds));
+      entry.Set("modeled_seconds", obs::JsonValue(r.modeled_seconds));
+    };
+    method("incremental", inc);
+    method("recompute", rec);
+    method("merge_pack", cbt);
+    json.results().Set(
+        "speedup_vs_incremental_modeled",
+        obs::JsonValue(inc.modeled_seconds / cbt.modeled_seconds));
+    json.results().Set(
+        "speedup_vs_recompute_modeled",
+        obs::JsonValue(rec.modeled_seconds / cbt.modeled_seconds));
+    json.Finish();
+  }
   return 0;
 }
 

@@ -1,6 +1,7 @@
 #ifndef CUBETREE_BENCH_BENCH_UTIL_H_
 #define CUBETREE_BENCH_BENCH_UTIL_H_
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,30 +15,72 @@
 namespace cubetree {
 namespace bench {
 
+/// Strict numeric flag parsing: the whole value must parse, so --sf=abc
+/// fails loudly instead of silently becoming 0 (atof/atoi) and running a
+/// degenerate benchmark that still "reports results". Each returns false
+/// on malformed input (including empty values and trailing junk).
+inline bool ParseDoubleArg(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+inline bool ParseIntArg(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline bool ParseUint64Arg(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
 /// Command-line/environment configuration shared by the experiment
 /// binaries. Each accepts:
 ///   --sf=<double>        scale factor (default 0.05; paper = 1.0)
 ///   --queries=<int>      queries per lattice view (default 100, as paper)
 ///   --dir=<path>         working directory (default ./ctbench_data)
 ///   --seed=<uint64>
+///   --json=<path>        also emit machine-readable results (JsonWriter)
 struct BenchArgs {
   double sf = 0.05;
   int queries = 100;
   std::string dir = "ctbench_data";
   uint64_t seed = 19980601;
+  std::string json_path;  // Empty = no JSON output.
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
+    auto malformed = [](const char* flag, const char* value) {
+      std::fprintf(stderr, "malformed value for %s: '%s'\n", flag, value);
+      std::exit(2);
+    };
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
       if (std::strncmp(a, "--sf=", 5) == 0) {
-        args.sf = std::atof(a + 5);
+        if (!ParseDoubleArg(a + 5, &args.sf)) malformed("--sf", a + 5);
       } else if (std::strncmp(a, "--queries=", 10) == 0) {
-        args.queries = std::atoi(a + 10);
+        if (!ParseIntArg(a + 10, &args.queries)) {
+          malformed("--queries", a + 10);
+        }
       } else if (std::strncmp(a, "--dir=", 6) == 0) {
         args.dir = a + 6;
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
-        args.seed = std::strtoull(a + 7, nullptr, 10);
+        if (!ParseUint64Arg(a + 7, &args.seed)) malformed("--seed", a + 7);
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        args.json_path = a + 7;
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a);
         std::exit(2);

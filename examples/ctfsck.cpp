@@ -19,6 +19,7 @@
 #include "check/invariant_checker.h"
 #include "cubetree/forest.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 
 using namespace cubetree;
@@ -51,6 +52,8 @@ void PrintHelp(std::FILE* out) {
       "                    fill factors, compression round-trips, CRCs\n"
       "                    (default: metadata-level checks only)\n"
       "  --json            emit the report as JSON on stdout\n"
+      "  --stats           dump the process metrics registry (buffer pool\n"
+      "                    hits, pages touched, ...) to stderr on exit\n"
       "  --pool-pages=N    buffer-pool capacity in pages (default 1024)\n"
       "  --failpoints      list every registered fault-injection point and\n"
       "                    exit (see CUBETREE_FAILPOINTS below)\n"
@@ -68,7 +71,19 @@ void PrintHelp(std::FILE* out) {
 struct CliOptions {
   bool deep = false;
   bool json = false;
+  bool stats = false;
   size_t pool_pages = 1024;
+};
+
+// Dumps the metrics registry on every exit path once --stats armed it.
+// Goes to stderr so the --json report on stdout stays machine-parseable.
+struct StatsDumper {
+  bool enabled = false;
+  ~StatsDumper() {
+    if (!enabled) return;
+    std::fprintf(stderr, "%s",
+                 obs::MetricsRegistry::Instance().DumpText().c_str());
+  }
 };
 
 /// Runs one checker, prints the report, and maps the outcome to an exit
@@ -156,6 +171,7 @@ int SelfDemo(const CliOptions& cli) {
 
 int main(int argc, char** argv) {
   CliOptions cli;
+  StatsDumper stats_dumper;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -168,6 +184,9 @@ int main(int argc, char** argv) {
       cli.deep = true;
     } else if (arg == "--json") {
       cli.json = true;
+    } else if (arg == "--stats") {
+      cli.stats = true;
+      stats_dumper.enabled = true;
     } else if (arg.rfind("--pool-pages=", 0) == 0) {
       char* end = nullptr;
       const unsigned long long n =

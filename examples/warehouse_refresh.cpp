@@ -17,7 +17,11 @@
 // the files of replaced generations are reclaimed only after the last
 // query pinning them finishes.
 //
-// Build & run:  ./build/examples/warehouse_refresh [scale_factor] [--online]
+// Build & run:
+//   ./build/examples/warehouse_refresh [scale_factor] [--online] [--stats]
+//
+// --stats dumps the process-wide metrics registry (query latency, buffer
+// pool hit rates, sorter spills, refresh publish latency, ...) on exit.
 
 #include <atomic>
 #include <chrono>
@@ -30,6 +34,7 @@
 #include "common/query_context.h"
 #include "common/timer.h"
 #include "engine/warehouse.h"
+#include "obs/metrics.h"
 #include "storage/page_manager.h"
 
 using namespace cubetree;
@@ -147,13 +152,25 @@ int OnlineWeek(Warehouse* warehouse) {
 
 }  // namespace
 
+// Dumps the metrics registry on every exit path once --stats armed it.
+struct StatsDumper {
+  bool enabled = false;
+  ~StatsDumper() {
+    if (!enabled) return;
+    std::printf("\n%s", obs::MetricsRegistry::Instance().DumpText().c_str());
+  }
+};
+
 int main(int argc, char** argv) {
   WarehouseOptions options;
+  StatsDumper stats;
   bool online = false;
   double scale_factor = 0.02;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--online") == 0) {
       online = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats.enabled = true;
     } else {
       scale_factor = std::atof(argv[i]);
     }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs the four headline benchmarks (the paper's query, load, update and
+# storage comparisons) and collects their machine-readable results as
+#   BENCH_queries.json  BENCH_load.json  BENCH_updates.json  BENCH_storage.json
+# in the output directory. Each file follows the bench::JsonWriter envelope
+# (schema_version, bench, config, wall_seconds, modeled_disk_seconds, io,
+# metrics, results) — see DESIGN.md section 10.
+#
+# Usage:
+#   scripts/run_benches.sh [--sf=<scale>] [--queries=<n>] \
+#                          [--build=<build dir>] [--out=<output dir>]
+#
+# Defaults: --sf=0.05 --queries=100 --build=build --out=.
+# Exits non-zero if any bench fails or emits invalid/missing JSON.
+
+set -u
+
+SF=0.05
+QUERIES=100
+BUILD_DIR=build
+OUT_DIR=.
+
+for arg in "$@"; do
+  case "$arg" in
+    --sf=*)      SF="${arg#--sf=}" ;;
+    --queries=*) QUERIES="${arg#--queries=}" ;;
+    --build=*)   BUILD_DIR="${arg#--build=}" ;;
+    --out=*)     OUT_DIR="${arg#--out=}" ;;
+    --help|-h)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "run_benches.sh: unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "run_benches.sh: no such directory: $BENCH_DIR (build first, or pass --build=)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+failures=0
+
+validate_json() {
+  # Prefer python's parser when present; otherwise settle for a non-empty
+  # file that ends in a closing brace.
+  local path="$1"
+  if [ ! -s "$path" ]; then
+    echo "run_benches.sh: $path missing or empty" >&2
+    return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -m json.tool "$path" >/dev/null 2>&1; then
+      echo "run_benches.sh: $path is not valid JSON" >&2
+      return 1
+    fi
+  elif ! tail -c 8 "$path" | grep -q '}'; then
+    echo "run_benches.sh: $path does not look like JSON" >&2
+    return 1
+  fi
+  return 0
+}
+
+run_one() {
+  local bench="$1" label="$2"
+  local binary="$BENCH_DIR/$bench"
+  local out="$OUT_DIR/BENCH_${label}.json"
+  if [ ! -x "$binary" ]; then
+    echo "run_benches.sh: missing binary $binary" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "=== $bench (sf=$SF, queries=$QUERIES) -> $out"
+  if ! "$binary" "--sf=$SF" "--queries=$QUERIES" "--json=$out"; then
+    echo "run_benches.sh: $bench exited non-zero" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  validate_json "$out" || failures=$((failures + 1))
+}
+
+run_one bench_queries queries
+run_one bench_load load
+run_one bench_updates updates
+run_one bench_storage storage
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_benches.sh: $failures benchmark(s) failed" >&2
+  exit 1
+fi
+echo "run_benches.sh: all results written to $OUT_DIR/BENCH_{queries,load,updates,storage}.json"

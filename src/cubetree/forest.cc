@@ -19,8 +19,10 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "cubetree/merge_pack.h"
+#include "common/timer.h"
 #include "engine/wal.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -84,6 +86,18 @@ bool SetAsideQuarantined(const std::string& path, std::string* aside) {
 
 namespace forest_internal {
 
+namespace {
+
+/// Depth of the deferred-unlink backlog: files retired from a published
+/// generation but still pinned by in-flight readers.
+obs::Gauge* GcBacklogGauge() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Instance().GetGauge("forest.gc_deferred_unlinks");
+  return gauge;
+}
+
+}  // namespace
+
 TrackedFile::TrackedFile(std::string path, std::shared_ptr<GcShared> gc)
     : path_(std::move(path)), gc_(std::move(gc)) {}
 
@@ -93,6 +107,7 @@ void TrackedFile::Retire() {
     std::lock_guard<std::mutex> lock(gc_->mu);
     ++gc_->unreclaimed_files;
   }
+  GcBacklogGauge()->Add(1);
   // The GC failpoint is consulted here, at the retirement decision, rather
   // than in the destructor: throw/crash actions must fire in a normal call
   // context (inside the refresh), never during unwinding.
@@ -121,9 +136,12 @@ TrackedFile::~TrackedFile() {
                  << std::strerror(errno);
     return;
   }
-  std::lock_guard<std::mutex> lock(gc_->mu);
-  --gc_->unreclaimed_files;
-  ++gc_->reclaimed_files;
+  {
+    std::lock_guard<std::mutex> lock(gc_->mu);
+    --gc_->unreclaimed_files;
+    ++gc_->reclaimed_files;
+  }
+  GcBacklogGauge()->Add(-1);
 }
 
 EpochState::~EpochState() {
@@ -1069,6 +1087,7 @@ uint64_t CubetreeForest::TotalPoints() const {
 void CubetreeForest::PublishState() {
   using forest_internal::EpochState;
   using forest_internal::TrackedFile;
+  Timer publish_timer;
   std::shared_ptr<EpochState> old = published_.load(std::memory_order_acquire);
   auto next = std::make_shared<EpochState>();
   next->epoch = next_epoch_++;
@@ -1103,6 +1122,7 @@ void CubetreeForest::PublishState() {
     if (old != nullptr) gc_->pinned_retired_epochs.insert(old->epoch);
   }
   if (old != nullptr) old->retired.store(true, std::memory_order_relaxed);
+  const uint64_t published_epoch = next->epoch;
   published_.store(std::move(next), std::memory_order_release);
   // Retire files the new generation dropped — after the swap, so a
   // throw/crash injected at the GC failpoint leaves the commit published
@@ -1113,6 +1133,12 @@ void CubetreeForest::PublishState() {
       if (live_paths.find(file->path()) == live_paths.end()) file->Retire();
     }
   }
+  auto& reg = obs::MetricsRegistry::Instance();
+  static obs::Histogram* const publish_latency =
+      reg.GetHistogram("forest.publish_latency_us");
+  static obs::Gauge* const live_epoch = reg.GetGauge("forest.live_epoch");
+  publish_latency->Record(publish_timer.ElapsedMicros());
+  live_epoch->Set(static_cast<int64_t>(published_epoch));
 }
 
 ForestSnapshot CubetreeForest::AcquireSnapshot() const {

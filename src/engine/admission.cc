@@ -28,16 +28,17 @@ Status AdmissionController::ShedOrRejectLocked(uint64_t cost_hint) {
     }
   }
   const uint64_t backlog =
-      static_cast<uint64_t>(active_) + static_cast<uint64_t>(queue_.size());
+      static_cast<uint64_t>(active_) + static_cast<uint64_t>(live_queued_);
   const std::string hint =
       "admission queue full (" + std::to_string(active_) + " active, " +
-      std::to_string(queue_.size()) + " queued); retry-after-ms=" +
+      std::to_string(live_queued_) + " queued); retry-after-ms=" +
       std::to_string(5 * (backlog + 1));
   if (cheapest == queue_.end() || (*cheapest)->cost >= cost_hint) {
     ++stats_.rejected;
     return Status::ResourceExhausted("query rejected: " + hint);
   }
   (*cheapest)->shed = true;
+  --live_queued_;
   ++stats_.shed;
   cv_.notify_all();
   return Status::OK();
@@ -46,22 +47,29 @@ Status AdmissionController::ShedOrRejectLocked(uint64_t cost_hint) {
 Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
                                                    const QueryContext* ctx) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (active_ < options_.max_concurrent && queue_.empty()) {
+  // Depth checks use live_queued_, not queue_.size(): entries already
+  // admitted or shed stay in queue_ until their thread wakes to unlink
+  // itself, and those zombies must not count against max_queued (or
+  // against the FIFO fast path — an admitted lingerer already holds its
+  // slot via active_).
+  if (active_ < options_.max_concurrent && live_queued_ == 0) {
     ++active_;
     ++stats_.admitted;
     return AdmissionTicket(this);
   }
-  if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+  if (live_queued_ >= options_.max_queued) {
     CT_RETURN_NOT_OK(ShedOrRejectLocked(cost_hint));
   }
   Waiter self;
   self.cost = cost_hint;
   queue_.push_back(&self);
+  ++live_queued_;
   auto leave_queue = [this, &self] { queue_.remove(&self); };
   while (!self.admitted && !self.shed) {
     if (ctx != nullptr) {
       const Status ctx_status = ctx->Check();
       if (!ctx_status.ok()) {
+        --live_queued_;
         leave_queue();
         ++stats_.deadline_exits;
         return ctx_status;
@@ -79,7 +87,7 @@ Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
   leave_queue();
   if (self.shed) {
     const uint64_t backlog =
-        static_cast<uint64_t>(active_) + static_cast<uint64_t>(queue_.size());
+        static_cast<uint64_t>(active_) + static_cast<uint64_t>(live_queued_);
     return Status::ResourceExhausted(
         "query shed under overload; retry-after-ms=" +
         std::to_string(5 * (backlog + 1)));
@@ -95,6 +103,7 @@ void AdmissionController::ReleaseSlot() {
   for (Waiter* waiter : queue_) {
     if (!waiter->admitted && !waiter->shed) {
       waiter->admitted = true;
+      --live_queued_;
       ++active_;
       ++stats_.admitted;
       break;
@@ -115,7 +124,7 @@ int AdmissionController::active() const {
 
 int AdmissionController::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(queue_.size());
+  return live_queued_;
 }
 
 }  // namespace cubetree

@@ -88,6 +88,7 @@ class AdmissionController {
 
   Stats stats() const;
   int active() const;
+  /// Effective queue depth: waiters that are neither admitted nor shed.
   int queued() const;
 
  private:
@@ -108,6 +109,11 @@ class AdmissionController {
   std::condition_variable cv_;
   int active_ = 0;
   std::list<Waiter*> queue_;  // FIFO for admission; shedding scans by cost.
+  /// Waiters that are neither admitted nor shed. Admitted/shed entries
+  /// linger in queue_ until their thread wakes to remove them, so
+  /// queue_.size() overstates pressure; all admission decisions and
+  /// backlog hints use this effective depth instead.
+  int live_queued_ = 0;
   Stats stats_;
 };
 

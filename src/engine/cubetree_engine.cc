@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <map>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace cubetree {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Histogram* query_latency_us;
+  obs::Histogram* admission_wait_us;
+  obs::Counter* queries;
+  obs::Counter* pages_touched;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return EngineMetrics{reg.GetHistogram("engine.query_latency_us"),
+                           reg.GetHistogram("engine.admission_wait_us"),
+                           reg.GetCounter("engine.queries"),
+                           reg.GetCounter("engine.pages_touched")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<std::unique_ptr<CubetreeEngine>> CubetreeEngine::Create(
     const CubeSchema& schema, Options options, BufferPool* pool) {
@@ -128,6 +153,7 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
+  Timer query_timer;
   if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
   // Pin one committed generation for the whole query. Concurrent refreshes
   // publish new generations; this one stays intact (retired files included)
@@ -160,9 +186,11 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   // overload, the gate sheds the cheapest (least lost work) queries first.
   AdmissionTicket ticket;
   if (options_.admission != nullptr) {
+    Timer admit_timer;
     CT_ASSIGN_OR_RETURN(
         ticket, options_.admission->Admit(
                     static_cast<uint64_t>(best_cost), ctx));
+    EngineMetrics::Get().admission_wait_us->Record(admit_timer.ElapsedMicros());
   }
   // Install the ambient context so BufferPool::Fetch / PageManager::ReadPage
   // check deadline + cancellation at page granularity for the whole scan.
@@ -245,6 +273,11 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
     stats->plan = std::string(exact ? "cubetree slice " : "cubetree agg ") +
                   best->Name(schema_);
   }
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.queries->Increment();
+  metrics.pages_touched->Increment(search_stats.internal_pages +
+                                   search_stats.leaf_pages);
+  metrics.query_latency_us->Record(query_timer.ElapsedMicros());
   return result;
 }
 

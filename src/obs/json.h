@@ -1,0 +1,99 @@
+#ifndef CUBETREE_OBS_JSON_H_
+#define CUBETREE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+namespace obs {
+
+/// Minimal JSON document model shared by the metrics registry, the bench
+/// --json emitters, and the golden-schema tests that parse the emitted
+/// files back. Objects preserve insertion order so dumps are stable and
+/// diffable; lookup is linear, which is fine at the sizes involved
+/// (dozens of keys).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(int64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(uint64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+
+  /// Object: sets (or replaces) `key` and returns a reference to the
+  /// stored value, so nested structures can be built in place.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  /// Object: the value at `key`, or nullptr when absent (or not an
+  /// object).
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array: appends an element.
+  void Append(JsonValue value) { elements_.push_back(std::move(value)); }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : elements_.size();
+  }
+
+  /// Serializes the value. `indent` spaces per nesting level; negative
+  /// emits the compact single-line form. Numbers that hold an integral
+  /// value print without a decimal point so counters stay exact-looking.
+  std::string Dump(int indent = 2) const;
+
+  /// Strict parser for the emitted subset (full JSON minus exotic number
+  /// forms): returns InvalidArgument with an offset on malformed input.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace obs
+}  // namespace cubetree
+
+#endif  // CUBETREE_OBS_JSON_H_

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace cubetree {
+namespace obs {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<int>(value);
+  // b = position of the top set bit (>= kSubBucketBits here). The bucket
+  // group for bit position b starts where the previous groups end, and
+  // the sub-bucket is the kSubBucketBits bits below the top bit.
+  const int b = std::bit_width(value) - 1;
+  const int group = b - kSubBucketBits + 1;
+  const int sub =
+      static_cast<int>((value >> (b - kSubBucketBits)) & (kSubBucketCount - 1));
+  return group * kSubBucketCount + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBucketCount) return static_cast<uint64_t>(index);
+  const int b = index / kSubBucketCount + kSubBucketBits - 1;
+  const uint64_t sub = static_cast<uint64_t>(index & (kSubBucketCount - 1));
+  return (static_cast<uint64_t>(kSubBucketCount) + sub) << (b - kSubBucketBits);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target recording, 1-based; p=0 picks the first.
+  uint64_t target =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Midpoint of [lower, next lower) halves the worst-case error.
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi =
+          i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : lo + 1;
+      return lo + (hi - lo - 1) / 2;
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+JsonValue MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::MakeObject();
+  JsonValue& counters = root.Set("counters", JsonValue::MakeObject());
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, JsonValue(c->value()));
+  }
+  JsonValue& gauges = root.Set("gauges", JsonValue::MakeObject());
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, JsonValue(g->value()));
+  }
+  JsonValue& histograms = root.Set("histograms", JsonValue::MakeObject());
+  for (const auto& [name, h] : histograms_) {
+    JsonValue& entry = histograms.Set(name, JsonValue::MakeObject());
+    entry.Set("count", JsonValue(h->count()));
+    entry.Set("sum", JsonValue(h->sum()));
+    entry.Set("max", JsonValue(h->max()));
+    entry.Set("mean", JsonValue(h->Mean()));
+    entry.Set("p50", JsonValue(h->ValueAtPercentile(50)));
+    entry.Set("p95", JsonValue(h->ValueAtPercentile(95)));
+    entry.Set("p99", JsonValue(h->ValueAtPercentile(99)));
+  }
+  return root;
+}
+
+std::string MetricsRegistry::DumpJson(int indent) const {
+  return SnapshotJson().Dump(indent);
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter   %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge     %-44s %lld\n", name.c_str(),
+                  static_cast<long long>(g->value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-44s count=%llu mean=%.1f p50=%llu p95=%llu "
+                  "p99=%llu max=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->Mean(),
+                  static_cast<unsigned long long>(h->ValueAtPercentile(50)),
+                  static_cast<unsigned long long>(h->ValueAtPercentile(95)),
+                  static_cast<unsigned long long>(h->ValueAtPercentile(99)),
+                  static_cast<unsigned long long>(h->max()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cubetree

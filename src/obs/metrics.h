@@ -1,0 +1,123 @@
+#ifndef CUBETREE_OBS_METRICS_H_
+#define CUBETREE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace cubetree {
+namespace obs {
+
+/// Monotonic event count. All mutation is a single relaxed fetch_add, so
+/// counters are safe (and cheap) to bump from any thread, including the
+/// buffer-pool fetch path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, files awaiting GC). Unlike a
+/// Counter it can go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Bounded log-scale histogram in the HdrHistogram style: each power of
+/// two is split into 2^kSubBucketBits linear sub-buckets, so any recorded
+/// value lands in a bucket whose width is at most value/16 — percentile
+/// estimates carry at most ~6.7% relative error while the whole uint64
+/// range fits in kNumBuckets fixed slots. Recording is one relaxed
+/// fetch_add per bucket plus count/sum upkeep; no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBucketCount = 1 << kSubBucketBits;  // 16
+  // Values below kSubBucketCount get exact unit buckets; above, each of
+  // the 60 remaining bit positions contributes 16 sub-buckets.
+  static constexpr int kNumBuckets =
+      kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;  // 976
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Value at percentile `p` in [0, 100]: the representative (midpoint)
+  /// value of the bucket holding the p-th ranked recording, 0 when empty.
+  uint64_t ValueAtPercentile(double p) const;
+
+  void Reset();
+
+  /// Bucket index for `value`; exposed for the boundary unit tests.
+  static int BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `index` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(int index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process-wide registry of named metrics. Get* registers on first use
+/// and returns a pointer that stays valid for the process lifetime, so
+/// hot paths can cache it in a function-local static and pay only the
+/// atomic bump per event. Names are sorted in snapshots so dumps diff
+/// cleanly.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (names stay registered). Benches use
+  /// this to isolate per-phase deltas; tests use it for a clean slate.
+  void ResetAll();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count,sum,max,mean,p50,p95,p99}}}.
+  JsonValue SnapshotJson() const;
+  std::string DumpJson(int indent = 2) const;
+  /// One metric per line, for --stats terminal output.
+  std::string DumpText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace cubetree
+
+#endif  // CUBETREE_OBS_METRICS_H_

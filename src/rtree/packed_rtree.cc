@@ -8,6 +8,7 @@
 
 #include "common/coding.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "rtree/node.h"
 
 namespace cubetree {
@@ -142,6 +143,17 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
   }
   tree->num_points_ = num_points;
   tree->num_leaf_pages_ = static_cast<PageId>(level.size());
+  {
+    // MergePack funnels through Build too, so these cover both the
+    // initial bulk load and every incremental refresh.
+    auto& reg = obs::MetricsRegistry::Instance();
+    static obs::Counter* const points_packed =
+        reg.GetCounter("rtree.points_packed");
+    static obs::Counter* const leaves_written =
+        reg.GetCounter("rtree.leaves_written");
+    points_packed->Increment(num_points);
+    leaves_written->Increment(level.size());
+  }
 
   if (level.empty()) {
     tree->root_ = kInvalidPageId;

@@ -8,11 +8,28 @@
 #include <unistd.h>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "sort/loser_tree.h"
 
 namespace cubetree {
 
 namespace {
+
+struct SorterMetrics {
+  obs::Counter* runs_spilled;
+  obs::Counter* merge_passes;
+  obs::Counter* bytes_spilled;
+
+  static const SorterMetrics& Get() {
+    static const SorterMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return SorterMetrics{reg.GetCounter("sorter.runs_spilled"),
+                           reg.GetCounter("sorter.merge_passes"),
+                           reg.GetCounter("sorter.bytes_spilled")};
+    }();
+    return m;
+  }
+};
 
 std::string NextRunPath(const std::string& dir) {
   static std::atomic<uint64_t> counter{0};
@@ -97,6 +114,18 @@ class MergeRecordStream : public RecordStream {
 
 ExternalSorter::ExternalSorter(Options options, RecordComparator less)
     : options_(std::move(options)), less_(std::move(less)) {
+  // Spill and merge lay records out per page as kPageSize / record_size;
+  // a zero or page-exceeding record size would make that quotient 0 and
+  // turn SpillRun's write loop into an infinite loop (and RunReader into
+  // an out-of-page overrun). Latch the error here — constructors cannot
+  // fail — and surface it from the first Add/Finish.
+  if (options_.record_size == 0 || options_.record_size > kPageSize) {
+    budget_status_ = Status::InvalidArgument(
+        "ExternalSorter: record_size " +
+        std::to_string(options_.record_size) + " must be in [1, " +
+        std::to_string(kPageSize) + "]");
+    return;
+  }
   // Floor the budget at 64 records: every spilled run keeps a file (and a
   // descriptor) open until Finish, so degenerate budgets must not turn
   // each record into its own run.
@@ -176,6 +205,8 @@ Status ExternalSorter::SpillRun() {
   runs_.push_back(std::move(file));
   run_paths_.push_back(std::move(path));
   buffer_.clear();
+  SorterMetrics::Get().runs_spilled->Increment();
+  SorterMetrics::Get().bytes_spilled->Increment(n * rs);
   // Keep the number of simultaneously open run files bounded even while
   // records are still arriving.
   if (runs_.size() >= 2 * std::max<size_t>(2, options_.max_merge_fanin)) {
@@ -229,6 +260,7 @@ Status ExternalSorter::MergeRunRange(size_t begin, size_t end) {
   runs_.push_back(std::move(file));
   run_paths_.push_back(std::move(path));
   run_record_counts_.push_back(total);
+  SorterMetrics::Get().merge_passes->Increment();
   return Status::OK();
 }
 

@@ -3,8 +3,32 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "common/query_context.h"
+#include "obs/metrics.h"
 
 namespace cubetree {
+
+namespace {
+
+/// Registry hooks for the pool's hot path; pointers resolved once.
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* budget_denied;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return PoolMetrics{reg.GetCounter("bufferpool.hits"),
+                         reg.GetCounter("bufferpool.misses"),
+                         reg.GetCounter("bufferpool.evictions"),
+                         reg.GetCounter("bufferpool.budget_denied")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -137,6 +161,7 @@ Result<size_t> BufferPool::GrabFrame() {
       free_frames_.pop_back();
       return idx;
     }
+    if (!reserved.ok()) PoolMetrics::Get().budget_denied->Increment();
     if (lru_.empty()) return reserved;
   }
   if (lru_.empty()) {
@@ -146,6 +171,7 @@ Result<size_t> BufferPool::GrabFrame() {
   size_t victim = lru_.back();
   CT_RETURN_NOT_OK(EvictFrame(victim, /*write_back=*/true));
   ++stats_.evictions;
+  PoolMetrics::Get().evictions->Increment();
   return victim;
 }
 
@@ -159,6 +185,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
   auto it = page_table_.find({file, id});
   if (it != page_table_.end()) {
     ++stats_.hits;
+    PoolMetrics::Get().hits->Increment();
     size_t idx = it->second;
     Frame& f = frames_[idx];
     if (f.in_lru) {
@@ -169,6 +196,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
     return PageHandle(this, idx, f.page.get(), id);
   }
   ++stats_.misses;
+  PoolMetrics::Get().misses->Increment();
   CT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
   Frame& f = frames_[idx];
   Status read = file->ReadPage(id, f.page.get());

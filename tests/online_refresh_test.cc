@@ -33,6 +33,7 @@
 #include "cubetree/view_def.h"
 #include "engine/admission.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "sort/external_sorter.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_manager.h"
@@ -475,6 +476,107 @@ TEST_F(OnlineRefreshTest, AdmissionQueueRespectsDeadlineAndCancel) {
   const AdmissionController::Stats stats = gate.stats();
   EXPECT_EQ(stats.deadline_exits, 2u);
   EXPECT_EQ(gate.queued(), 0);
+}
+
+// Regression: the max_queued check (and the retry-after hint) used to read
+// the raw queue_.size(), which still counts "zombie" entries — waiters
+// already admitted by ReleaseSlot (or shed) whose threads have not woken
+// to unlink themselves yet. In the window right after a Release, a new
+// arrival saw a full queue and was spuriously rejected even though the
+// effective depth was zero. The controller now tracks the effective depth
+// separately; this loop hammers exactly that window and must never see a
+// ResourceExhausted.
+TEST_F(OnlineRefreshTest, AdmissionZombieWaitersDoNotCountAgainstQueue) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 1;
+  AdmissionController gate(options);
+
+  int spurious_rejections = 0;
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_OK_AND_ASSIGN(AdmissionTicket holder, gate.Admit(100, nullptr));
+    Status waiter_status;
+    std::thread waiter([&] {
+      auto r = gate.Admit(10, nullptr);
+      waiter_status = r.status();
+      if (r.ok()) r->Release();
+    });
+    for (int i = 0; i < 2000 && gate.queued() < 1; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(gate.queued(), 1);
+
+    // Hand the slot to the waiter; its queue entry lingers until its
+    // thread wakes. Arriving right now must not be rejected: nothing is
+    // effectively queued, and this arrival is cheaper than the zombie
+    // (the buggy path would shed-or-reject it against the stale entry).
+    holder.Release();
+    QueryContext ctx = QueryContext::WithTimeout(std::chrono::milliseconds(100));
+    auto arrival = gate.Admit(5, &ctx);
+    if (arrival.ok()) {
+      arrival->Release();
+    } else if (arrival.status().IsResourceExhausted()) {
+      ++spurious_rejections;
+    }
+    // DeadlineExceeded is fine: it means we queued (not rejected) and the
+    // waiter still held the slot when the clock ran out.
+    waiter.join();
+    EXPECT_OK(waiter_status);
+  }
+  EXPECT_EQ(spurious_rejections, 0);
+  EXPECT_EQ(gate.stats().rejected, 0u);
+  EXPECT_EQ(gate.active(), 0);
+  EXPECT_EQ(gate.queued(), 0);
+}
+
+// --- Metrics under concurrency -------------------------------------------
+//
+// The obs registry is bumped from query, refresh and buffer-pool threads
+// simultaneously; this runs the whole surface (registration, recording,
+// snapshotting) under TSan via the suite's `concurrency` label.
+TEST_F(OnlineRefreshTest, MetricsRegistryIsThreadSafeUnderLoad) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  obs::Counter* counter = reg.GetCounter("online_test.metrics_counter");
+  obs::Gauge* gauge = reg.GetGauge("online_test.metrics_gauge");
+  obs::Histogram* hist = reg.GetHistogram("online_test.metrics_hist");
+  counter->Reset();
+  gauge->Reset();
+  hist->Reset();
+
+  constexpr int kWriters = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      // Also race first-use registration of per-thread names against the
+      // established pointers.
+      obs::Counter* own = reg.GetCounter("online_test.metrics_counter");
+      for (int i = 0; i < kPerThread; ++i) {
+        own->Increment();
+        gauge->Add(t % 2 == 0 ? 1 : -1);
+        hist->Record(static_cast<uint64_t>(i % 1000 + 1));
+      }
+    });
+  }
+  // A reader snapshots concurrently — dumps must not tear or crash.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::JsonValue snap = reg.SnapshotJson();
+      EXPECT_NE(snap.Find("counters"), nullptr);
+      (void)reg.DumpText();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kWriters) * kPerThread);
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kWriters) * kPerThread);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(hist->max(), 1000u);
 }
 
 // --- Shared memory budget ------------------------------------------------

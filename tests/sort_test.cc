@@ -198,6 +198,54 @@ TEST(ExternalSorterTest, AddAfterFinishFails) {
   EXPECT_FALSE(sorter.Add(buf).ok());
 }
 
+// Regression: record_size == 0 or > kPageSize used to make the records-
+// per-page division in SpillRun/RunReader come out as 0, looping forever
+// (spill) or overrunning the page buffer (read). The constructor now
+// latches InvalidArgument, surfaced by the first Add()/Finish().
+TEST(ExternalSorterTest, RejectsRecordLargerThanPage) {
+  const std::string dir = MakeTestDir("sort_oversize");
+  // Tiny budget so a working sorter would be forced to spill — the exact
+  // configuration that used to hang.
+  ExternalSorter sorter(SmallSorterOptions(dir, kPageSize + 1, 64),
+                        U32Less());
+  std::vector<char> record(kPageSize + 1, 0);
+  const Status add = sorter.Add(record.data());
+  EXPECT_TRUE(add.IsInvalidArgument()) << add.ToString();
+  const Status finish = sorter.Finish().status();
+  EXPECT_TRUE(finish.IsInvalidArgument()) << finish.ToString();
+}
+
+TEST(ExternalSorterTest, RejectsZeroRecordSize) {
+  const std::string dir = MakeTestDir("sort_zerosize");
+  ExternalSorter sorter(SmallSorterOptions(dir, 0, 1024), U32Less());
+  char buf[4] = {0};
+  EXPECT_TRUE(sorter.Add(buf).IsInvalidArgument());
+  EXPECT_TRUE(sorter.Finish().status().IsInvalidArgument());
+}
+
+TEST(ExternalSorterTest, PageSizedRecordStillSorts) {
+  // The guard's boundary: exactly one record per page must keep working.
+  const std::string dir = MakeTestDir("sort_pagesize");
+  ExternalSorter sorter(SmallSorterOptions(dir, kPageSize, 2 * kPageSize),
+                        U32Less());
+  std::vector<char> record(kPageSize, 0);
+  std::vector<uint32_t> values = {7, 3, 9, 1, 5};
+  for (uint32_t v : values) {
+    EncodeFixed32(record.data(), v);
+    ASSERT_OK(sorter.Add(record.data()));
+  }
+  ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+  std::vector<uint32_t> drained;
+  const char* rec = nullptr;
+  while (true) {
+    ASSERT_OK(stream->Next(&rec));
+    if (rec == nullptr) break;
+    drained.push_back(DecodeFixed32(rec));
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(drained, values);
+}
+
 TEST(ExternalSorterTest, RunFileIoIsSequential) {
   const std::string dir = MakeTestDir("sort_io");
   auto stats = std::make_shared<IoStats>();
