@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 
 namespace cubetree {
@@ -28,16 +29,29 @@ namespace bench {
 ///                        sequential_writes, random_writes,
 ///                        modeled_seconds}, ...},
 ///     "metrics": <MetricsRegistry snapshot>,
+///     "traces": {...}            (only when --trace=<path> was given)
 ///     "results": {<bench-specific numbers via results()>}
 ///   }
 ///
 /// Without --json every method is a cheap no-op, so the human-readable
 /// output path is untouched. The process-wide metrics registry is zeroed
 /// at construction so the embedded snapshot covers exactly this run.
+///
+/// --trace=<path> arms the process tracer at construction and writes the
+/// completed-trace ring as Chrome trace-event JSON (loadable in Perfetto /
+/// chrome://tracing) to that path at Finish() — or at destruction, so
+/// --trace works without --json too. The envelope additionally gets a
+/// "traces" summary section (count + per-trace name/duration/span count).
 class JsonWriter {
  public:
   JsonWriter(const BenchArgs& args, std::string bench_name)
-      : path_(args.json_path), bench_name_(std::move(bench_name)) {
+      : path_(args.json_path),
+        trace_path_(args.trace_path),
+        bench_name_(std::move(bench_name)) {
+    if (tracing()) {
+      obs::Tracer::Instance().Enable(true);
+      obs::Tracer::Instance().Clear();
+    }
     if (!enabled()) return;
     obs::MetricsRegistry::Instance().ResetAll();
     root_ = obs::JsonValue::MakeObject();
@@ -52,10 +66,15 @@ class JsonWriter {
     results_ = obs::JsonValue::MakeObject();
   }
 
+  /// Benches only call Finish() on the --json path; the destructor covers
+  /// the trace file for --trace-only runs.
+  ~JsonWriter() { WriteTraceFile(); }
+
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;
 
   bool enabled() const { return !path_.empty(); }
+  bool tracing() const { return !trace_path_.empty(); }
 
   /// Records the I/O counters of one phase/configuration under `name` and
   /// adds its modeled 1997-disk time to the run total.
@@ -80,31 +99,68 @@ class JsonWriter {
   /// a message on write failure so CI never mistakes a truncated file for
   /// a result.
   void Finish() {
+    WriteTraceFile();
     if (!enabled() || finished_) return;
     finished_ = true;
     root_.Set("wall_seconds", obs::JsonValue(timer_.ElapsedSeconds()));
     root_.Set("modeled_disk_seconds", obs::JsonValue(modeled_disk_seconds_));
     root_.Set("io", std::move(io_));
     root_.Set("metrics", obs::MetricsRegistry::Instance().SnapshotJson());
+    if (tracing()) root_.Set("traces", TraceSummary());
     root_.Set("results", std::move(results_));
     const std::string text = root_.Dump() + "\n";
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    bool ok = f != nullptr &&
-              std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    if (f != nullptr) ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-      std::fprintf(stderr, "FATAL cannot write %s\n", path_.c_str());
-      std::exit(1);
-    }
+    WriteFileOrDie(path_, text);
     std::printf("json results written to %s\n", path_.c_str());
   }
 
  private:
+  static void WriteFileOrDie(const std::string& path,
+                             const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    bool ok = f != nullptr &&
+              std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (f != nullptr) ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+  }
+
+  obs::JsonValue TraceSummary() const {
+    auto traces = obs::Tracer::Instance().AllTraces();
+    obs::JsonValue summary = obs::JsonValue::MakeObject();
+    summary.Set("path", obs::JsonValue(trace_path_));
+    summary.Set("count", obs::JsonValue(static_cast<uint64_t>(traces.size())));
+    obs::JsonValue& list =
+        summary.Set("traces", obs::JsonValue::MakeArray());
+    for (const auto& trace : traces) {
+      obs::JsonValue entry = obs::JsonValue::MakeObject();
+      entry.Set("trace_id", obs::JsonValue(trace->id()));
+      entry.Set("name", obs::JsonValue(trace->name()));
+      entry.Set("duration_us", obs::JsonValue(trace->DurationMicros()));
+      entry.Set("spans",
+                obs::JsonValue(static_cast<uint64_t>(trace->spans().size())));
+      list.Append(std::move(entry));
+    }
+    return summary;
+  }
+
+  void WriteTraceFile() {
+    if (!tracing() || trace_written_) return;
+    trace_written_ = true;
+    const std::string text =
+        obs::Tracer::Instance().ExportAllJson().Dump(2) + "\n";
+    WriteFileOrDie(trace_path_, text);
+    std::printf("trace written to %s\n", trace_path_.c_str());
+  }
+
   const std::string path_;
+  const std::string trace_path_;
   const std::string bench_name_;
   Timer timer_;
   double modeled_disk_seconds_ = 0;
   bool finished_ = false;
+  bool trace_written_ = false;
   obs::JsonValue root_;
   obs::JsonValue io_;
   obs::JsonValue results_;

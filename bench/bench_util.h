@@ -7,8 +7,10 @@
 #include <cstring>
 #include <string>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "engine/warehouse.h"
+#include "obs/trace.h"
 #include "olap/cube_builder.h"
 #include "tpcd/dbgen.h"
 
@@ -54,14 +56,18 @@ inline bool ParseUint64Arg(const char* text, uint64_t* out) {
 ///   --dir=<path>         working directory (default ./ctbench_data)
 ///   --seed=<uint64>
 ///   --json=<path>        also emit machine-readable results (JsonWriter)
+///   --trace=<path>       record span traces; written as Chrome trace-event
+///                        JSON (Perfetto / chrome://tracing) on Finish/exit
 struct BenchArgs {
   double sf = 0.05;
   int queries = 100;
   std::string dir = "ctbench_data";
   uint64_t seed = 19980601;
-  std::string json_path;  // Empty = no JSON output.
+  std::string json_path;   // Empty = no JSON output.
+  std::string trace_path;  // Empty = tracing stays disabled.
 
   static BenchArgs Parse(int argc, char** argv) {
+    InitLogLevelFromEnv();
     BenchArgs args;
     auto malformed = [](const char* flag, const char* value) {
       std::fprintf(stderr, "malformed value for %s: '%s'\n", flag, value);
@@ -81,6 +87,9 @@ struct BenchArgs {
         if (!ParseUint64Arg(a + 7, &args.seed)) malformed("--seed", a + 7);
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         args.json_path = a + 7;
+      } else if (std::strncmp(a, "--trace=", 8) == 0) {
+        args.trace_path = a + 8;
+        if (args.trace_path.empty()) malformed("--trace", a + 8);
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a);
         std::exit(2);

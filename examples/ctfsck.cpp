@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "check/checkers.h"
+#include "common/logging.h"
 #include "check/invariant_checker.h"
 #include "cubetree/forest.h"
 #include "fault/fault_injector.h"
@@ -170,6 +171,7 @@ int SelfDemo(const CliOptions& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cubetree::InitLogLevelFromEnv();
   CliOptions cli;
   StatsDumper stats_dumper;
   std::vector<std::string> args;

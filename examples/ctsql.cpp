@@ -11,24 +11,57 @@
 //   ctsql> SELECT custkey, SUM(quantity) FROM sales
 //          WHERE partkey BETWEEN 10 AND 20 GROUP BY custkey
 //   ctsql> \plan SELECT ...     (show the access path, not the rows)
+//   ctsql> \trace               (show the last query's span tree)
 //   ctsql> \quit
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "engine/query_parser.h"
 #include "engine/warehouse.h"
+#include "obs/trace.h"
 
 using namespace cubetree;
 
+namespace {
+
+// Strict scale-factor parse: the whole argument must be a positive number.
+// A typo'd argument silently becoming SF=0 would "succeed" with an empty
+// warehouse, so reject garbage loudly instead (exit 2, usage-error style).
+double ParseScaleFactor(const char* arg) {
+  char* end = nullptr;
+  const double value = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || value <= 0) {
+    std::fprintf(stderr, "ctsql: invalid scale factor '%s' (want a positive "
+                 "number, e.g. 0.01)\n", arg);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   WarehouseOptions options;
-  options.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.01;
+  options.scale_factor = argc > 1 ? ParseScaleFactor(argv[1]) : 0.01;
   options.dir = "ctsql_data";
-  (void)system(("rm -rf " + options.dir).c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(options.dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "ctsql: cannot clear %s: %s\n", options.dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  // Trace every query so \trace always has something to show; CUBETREE_TRACE
+  // / CUBETREE_SLOW_QUERY_US (applied when Instance() first runs) can
+  // further arm the slow-query log.
+  obs::Tracer::Instance().Enable(true);
 
   std::printf("ctsql: loading TPC-D at SF=%.3f...\n", options.scale_factor);
   auto warehouse_result = Warehouse::Create(options);
@@ -49,7 +82,7 @@ int main(int argc, char** argv) {
               schema.attr_domains[0], schema.attr_domains[1],
               schema.attr_domains[2]);
   std::printf("Predicates: '=' and BETWEEN. \\plan prefix shows the access "
-              "path. \\quit exits.\n\n");
+              "path. \\trace shows the last query's spans. \\quit exits.\n\n");
 
   std::string line;
   while (true) {
@@ -58,68 +91,85 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\trace") {
+      auto last = obs::Tracer::Instance().LastTrace();
+      if (last == nullptr) {
+        std::printf("no trace yet: run a query first.\n");
+      } else {
+        std::printf("%s", last->DebugString().c_str());
+      }
+      continue;
+    }
     bool plan_only = false;
     if (line.rfind("\\plan ", 0) == 0) {
       plan_only = true;
       line = line.substr(6);
     }
-    auto parsed = ParseSliceQuery(line, schema);
-    if (!parsed.ok()) {
-      std::printf("error: %s\n", parsed.status().ToString().c_str());
-      continue;
-    }
     QueryExecStats stats;
     Timer timer;
-    auto result = warehouse->cubetrees()->Execute(parsed->query, &stats);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    const double ms = timer.ElapsedSeconds() * 1000;
-    if (plan_only) {
-      std::printf("plan: %s  (%llu tuples examined, %llu pages)\n",
-                  stats.plan.c_str(),
-                  static_cast<unsigned long long>(stats.tuples_accessed),
-                  static_cast<unsigned long long>(stats.pages_accessed));
-      continue;
-    }
-    result->SortRows();
-    // Header.
-    for (uint32_t attr : result->group_attrs) {
-      std::printf("%-10s ", schema.attr_names[attr].c_str());
-    }
-    switch (parsed->fn) {
-      case AggFn::kSum:
-        std::printf("%-12s\n", "sum");
-        break;
-      case AggFn::kCount:
-        std::printf("%-12s\n", "count");
-        break;
-      case AggFn::kAvg:
-        std::printf("%-12s\n", "avg");
-        break;
-    }
-    const size_t limit = 20;
-    for (size_t i = 0; i < result->rows.size() && i < limit; ++i) {
-      const ResultRow& row = result->rows[i];
-      for (Coord c : row.group) std::printf("%-10u ", c);
+    {
+      // One trace covers parse + execute; the engine's own TraceScope
+      // nests inside it, so \trace shows a "parse" phase too.
+      obs::TraceScope trace("ctsql.query", nullptr);
+      auto parsed = [&] {
+        obs::Span parse_span("parse");
+        return ParseSliceQuery(line, schema);
+      }();
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto result = warehouse->cubetrees()->Execute(parsed->query, &stats);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      const double ms = timer.ElapsedSeconds() * 1000;
+      if (plan_only) {
+        std::printf("plan: %s  (%llu tuples examined, %llu pages)\n",
+                    stats.plan.c_str(),
+                    static_cast<unsigned long long>(stats.tuples_accessed),
+                    static_cast<unsigned long long>(stats.pages_accessed));
+        continue;
+      }
+      result->SortRows();
+      // Header.
+      for (uint32_t attr : result->group_attrs) {
+        std::printf("%-10s ", schema.attr_names[attr].c_str());
+      }
       switch (parsed->fn) {
         case AggFn::kSum:
-          std::printf("%-12lld\n", static_cast<long long>(row.agg.sum));
+          std::printf("%-12s\n", "sum");
           break;
         case AggFn::kCount:
-          std::printf("%-12u\n", row.agg.count);
+          std::printf("%-12s\n", "count");
           break;
         case AggFn::kAvg:
-          std::printf("%-12.2f\n", row.agg.Avg());
+          std::printf("%-12s\n", "avg");
           break;
       }
+      const size_t limit = 20;
+      for (size_t i = 0; i < result->rows.size() && i < limit; ++i) {
+        const ResultRow& row = result->rows[i];
+        for (Coord c : row.group) std::printf("%-10u ", c);
+        switch (parsed->fn) {
+          case AggFn::kSum:
+            std::printf("%-12lld\n", static_cast<long long>(row.agg.sum));
+            break;
+          case AggFn::kCount:
+            std::printf("%-12u\n", row.agg.count);
+            break;
+          case AggFn::kAvg:
+            std::printf("%-12.2f\n", row.agg.Avg());
+            break;
+        }
+      }
+      if (result->rows.size() > limit) {
+        std::printf("... (%zu rows)\n", result->rows.size());
+      }
+      std::printf("%zu row(s) in %.2f ms  [%s]\n\n", result->rows.size(), ms,
+                  stats.plan.c_str());
     }
-    if (result->rows.size() > limit) {
-      std::printf("... (%zu rows)\n", result->rows.size());
-    }
-    std::printf("%zu row(s) in %.2f ms  [%s]\n\n", result->rows.size(), ms,
-                stats.plan.c_str());
   }
   std::printf("\nbye.\n");
   return 0;

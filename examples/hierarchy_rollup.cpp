@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "engine/cubetree_engine.h"
 #include "engine/dimensions.h"
 #include "olap/cube_builder.h"
@@ -30,6 +31,7 @@ ViewDef MakeView(uint32_t id, std::vector<uint32_t> attrs) {
 }  // namespace
 
 int main() {
+  InitLogLevelFromEnv();
   (void)system("rm -rf hierarchy_data && mkdir -p hierarchy_data");
 
   tpcd::TpcdOptions gen_options;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/logging.h"
 #include "cubetree/cubetree.h"
 #include "cubetree/select_mapping.h"
 #include "rtree/packed_rtree.h"
@@ -40,6 +41,7 @@ PointRecord MakePoint(uint32_t view, std::vector<Coord> coords,
 }  // namespace
 
 int main() {
+  InitLogLevelFromEnv();
   (void)system("rm -rf paper_example_data && mkdir -p paper_example_data");
 
   // --- Tables 1 and 2: view V8{partkey} -------------------------------

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/logging.h"
 #include "cubetree/forest.h"
 #include "engine/cubetree_engine.h"
 #include "engine/query_parser.h"
@@ -56,6 +57,7 @@ class Facts : public FactProvider {
 }  // namespace
 
 int main() {
+  InitLogLevelFromEnv();
   (void)system("rm -rf quickstart_data && mkdir -p quickstart_data");
 
   // 1. Describe the grouping attributes of the warehouse.

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/logging.h"
 #include "cubetree/select_mapping.h"
 #include "olap/lattice.h"
 #include "olap/selection.h"
@@ -17,6 +18,7 @@
 using namespace cubetree;
 
 int main() {
+  InitLogLevelFromEnv();
   // A retail warehouse with four grouping attributes.
   CubeSchema schema;
   schema.attr_names = {"product", "store", "customer", "month"};

@@ -19,22 +19,31 @@
 //
 // Build & run:
 //   ./build/examples/warehouse_refresh [scale_factor] [--online] [--stats]
+//                                      [--trace=<path>]
 //
 // --stats dumps the process-wide metrics registry (query latency, buffer
 // pool hit rates, sorter spills, refresh publish latency, ...) on exit.
+// --trace=<path> records every refresh and query as a span tree and writes
+// the whole ring as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing) on exit.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/query_context.h"
 #include "common/timer.h"
 #include "engine/warehouse.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page_manager.h"
 
 using namespace cubetree;
@@ -161,9 +170,27 @@ struct StatsDumper {
   }
 };
 
+// Writes the tracer's whole ring as one Chrome trace-event file on every
+// exit path once --trace=<path> armed it.
+struct TraceDumper {
+  std::string path;
+  ~TraceDumper() {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << obs::Tracer::Instance().ExportAllJson().Dump(2) << "\n";
+    std::printf("trace written to %s\n", path.c_str());
+  }
+};
+
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   WarehouseOptions options;
   StatsDumper stats;
+  TraceDumper trace;
   bool online = false;
   double scale_factor = 0.02;
   for (int i = 1; i < argc; ++i) {
@@ -171,8 +198,27 @@ int main(int argc, char** argv) {
       online = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats.enabled = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace.path = argv[i] + 8;
+      if (trace.path.empty()) {
+        std::fprintf(stderr, "warehouse_refresh: --trace needs a path\n");
+        return 2;
+      }
+      obs::Tracer::Instance().Enable(true);
     } else {
-      scale_factor = std::atof(argv[i]);
+      // Positional scale factor: the whole argument must parse as a
+      // positive number (a typo becoming SF=0 would silently load an
+      // empty warehouse).
+      char* end = nullptr;
+      scale_factor = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || scale_factor <= 0) {
+        std::fprintf(stderr,
+                     "warehouse_refresh: invalid argument '%s' (want "
+                     "--online, --stats, --trace=<path> or a positive "
+                     "scale factor)\n",
+                     argv[i]);
+        return 2;
+      }
     }
   }
   options.scale_factor = scale_factor;
@@ -181,7 +227,13 @@ int main(int argc, char** argv) {
   const bool resume = FileExists(options.dir + "/cbt.manifest");
   if (!resume) {
     // No committed forest to resume: clear any stale partial state.
-    (void)system(("rm -rf " + options.dir).c_str());
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "warehouse_refresh: cannot clear %s: %s\n",
+                   options.dir.c_str(), ec.message().c_str());
+      return 1;
+    }
   }
 
   auto warehouse_result = Warehouse::Create(options);

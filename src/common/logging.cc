@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace cubetree {
 
@@ -30,6 +33,28 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("CUBETREE_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return;
+  std::string lower(value);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (lower == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (lower == "warn" || lower == "warning") {
+    SetLogLevel(LogLevel::kWarn);
+  } else if (lower == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    CT_LOG(Warn) << "CUBETREE_LOG_LEVEL=" << value
+                 << " not recognized (want debug|info|warn|error); keeping "
+                 << LevelName(GetLogLevel());
+  }
 }
 
 namespace internal {

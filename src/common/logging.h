@@ -12,6 +12,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Applies the CUBETREE_LOG_LEVEL environment variable (one of debug, info,
+/// warn, error; case-insensitive) if set, so binaries can be made chatty or
+/// quiet in the field without a rebuild. Unset or unrecognized values leave
+/// the level untouched; unrecognized values also get a WARN line. Called at
+/// startup by every example and bench binary.
+void InitLogLevelFromEnv();
+
 namespace internal {
 
 /// Stream-style log line; emits to stderr on destruction if `level` passes

@@ -38,7 +38,8 @@ class QueryContext {
   QueryContext(QueryContext&& other) noexcept
       : deadline_(other.deadline_),
         has_deadline_(other.has_deadline_),
-        cancelled_(other.cancelled_.load(std::memory_order_relaxed)) {}
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
+        trace_id_(other.trace_id_.load(std::memory_order_relaxed)) {}
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
   QueryContext& operator=(QueryContext&&) = delete;
@@ -83,6 +84,18 @@ class QueryContext {
     return Status::OK();
   }
 
+  /// Id of the trace observing this query (0 = untraced). Stamped by the
+  /// engine when a TraceScope starts, so callers holding the context can
+  /// correlate their results with the exported trace. Mutable-through-const
+  /// like cancellation: engines receive `const QueryContext*`, and the id
+  /// is observability metadata, not query semantics.
+  void set_trace_id(uint64_t id) const {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
   /// The ambient context for this thread, or nullptr outside any Scope.
   static const QueryContext* Current();
 
@@ -104,6 +117,7 @@ class QueryContext {
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::atomic<bool> cancelled_{false};
+  mutable std::atomic<uint64_t> trace_id_{0};
 };
 
 }  // namespace cubetree

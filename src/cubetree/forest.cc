@@ -23,6 +23,7 @@
 #include "engine/wal.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -719,6 +720,8 @@ Status CubetreeForest::BuildNextGenerations(
   new_trees->clear();
   new_trees->resize(trees_.size());
   for (size_t t = 0; t < trees_.size(); ++t) {
+    obs::Span merge_span("refresh.merge_pack");
+    merge_span.Annotate("tree", static_cast<uint64_t>(t));
     CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
 
     // Fold any pending delta trees into the same merge-pack.
@@ -742,6 +745,7 @@ Status CubetreeForest::BuildNextGenerations(
         PackedRTree::Build(TreePath(t, new_generation), tree_options, pool_,
                            chain.head(), ArityFn(), io_stats_));
     (*generations)[t] = new_generation;
+    merge_span.Annotate("points", (*new_trees)[t]->num_points());
     CT_FAULT("forest.refresh.build");
   }
   return Status::OK();
@@ -779,6 +783,7 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
 
   // Phase 2: the durable manifest swap — the commit point.
   if (phase.ok()) {
+    obs::Span commit_span("refresh.manifest_commit");
     phase = SaveManifestDurable(
         new_generations, std::vector<std::vector<uint32_t>>(trees_.size()));
   }
@@ -850,6 +855,8 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
   std::vector<int64_t> built_generations(trees_.size(), -1);
   auto build_all = [&]() -> Status {
     for (size_t t = 0; t < trees_.size(); ++t) {
+      obs::Span delta_span("refresh.delta_pack");
+      delta_span.Annotate("tree", static_cast<uint64_t>(t));
       CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
       const uint32_t generation = next_delta_generation_[t]++;
       RTreeOptions tree_options = options_.rtree;
@@ -880,6 +887,7 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
         next_deltas[t].push_back(static_cast<uint32_t>(built_generations[t]));
       }
     }
+    obs::Span commit_span("refresh.manifest_commit");
     phase = SaveManifestDurable(generations_, next_deltas);
   }
   if (!phase.ok()) {
@@ -1087,6 +1095,7 @@ uint64_t CubetreeForest::TotalPoints() const {
 void CubetreeForest::PublishState() {
   using forest_internal::EpochState;
   using forest_internal::TrackedFile;
+  obs::Span publish_span("refresh.publish");
   Timer publish_timer;
   std::shared_ptr<EpochState> old = published_.load(std::memory_order_acquire);
   auto next = std::make_shared<EpochState>();

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "obs/trace.h"
 #include "sort/external_sorter.h"
 
 namespace cubetree {
@@ -470,6 +471,8 @@ Status ConventionalEngine::ExecuteIndex(ViewState* state, size_t index_pos,
 
 Result<QueryResult> ConventionalEngine::Execute(const SliceQuery& query,
                                                 QueryExecStats* stats) {
+  obs::TraceScope trace("query", options_.io_stats.get());
+  trace.Annotate("engine", "conventional");
   // Plan: cheapest (view, access path) by the GHRU tuple-cost model.
   // Fraction of the key space attr is restricted to (1 = unconstrained),
   // plus whether the restriction is an equality (ranges end an index
@@ -490,32 +493,41 @@ Result<QueryResult> ConventionalEngine::Execute(const SliceQuery& query,
   ViewState* best_state = nullptr;
   int best_index = -1;  // -1 = scan.
   double best_cost = 0;
-  for (auto& [view_id, state] : states_) {
-    if (!state.def.Covers(query.node_mask)) continue;
-    const double rows =
-        static_cast<double>(std::max<uint64_t>(state.table->num_rows(), 1));
-    // Scan path.
-    if (best_state == nullptr || rows < best_cost) {
-      best_state = &state;
-      best_index = -1;
-      best_cost = rows;
-    }
-    // Indexed paths (an index entry + a heap fetch per matching tuple).
-    for (size_t i = 0; i < state.indices.size(); ++i) {
-      double fraction = 1.0;
-      for (uint32_t attr : state.indices[i].first.key_attrs) {
-        bool is_equality = false;
-        const double s = selectivity(attr, &is_equality);
-        if (s >= 1.0) break;
-        fraction *= s;
-        if (!is_equality) break;
-      }
-      const double cost = std::max(1.0, 2.0 * rows * fraction);
-      if (cost < best_cost) {
+  {
+    obs::Span route_span("route");
+    for (auto& [view_id, state] : states_) {
+      if (!state.def.Covers(query.node_mask)) continue;
+      const double rows =
+          static_cast<double>(std::max<uint64_t>(state.table->num_rows(), 1));
+      // Scan path.
+      if (best_state == nullptr || rows < best_cost) {
         best_state = &state;
-        best_index = static_cast<int>(i);
-        best_cost = cost;
+        best_index = -1;
+        best_cost = rows;
       }
+      // Indexed paths (an index entry + a heap fetch per matching tuple).
+      for (size_t i = 0; i < state.indices.size(); ++i) {
+        double fraction = 1.0;
+        for (uint32_t attr : state.indices[i].first.key_attrs) {
+          bool is_equality = false;
+          const double s = selectivity(attr, &is_equality);
+          if (s >= 1.0) break;
+          fraction *= s;
+          if (!is_equality) break;
+        }
+        const double cost = std::max(1.0, 2.0 * rows * fraction);
+        if (cost < best_cost) {
+          best_state = &state;
+          best_index = static_cast<int>(i);
+          best_cost = cost;
+        }
+      }
+    }
+    if (best_state != nullptr && route_span.active()) {
+      route_span.Annotate("view", best_state->def.Name(schema_));
+      route_span.Annotate("access_path",
+                          best_index < 0 ? "scan" : "index");
+      route_span.Annotate("estimated_cost", best_cost);
     }
   }
   if (best_state == nullptr) {
@@ -529,8 +541,10 @@ Result<QueryResult> ConventionalEngine::Execute(const SliceQuery& query,
     }
   }
   if (best_index < 0) {
+    obs::Span scan_span("scan");
     CT_RETURN_NOT_OK(ExecuteScan(best_state, query, &result, stats));
   } else {
+    obs::Span index_span("index");
     CT_RETURN_NOT_OK(ExecuteIndex(best_state, static_cast<size_t>(best_index),
                                   query, &result, stats));
   }

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cubetree {
 
@@ -154,6 +155,9 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
   Timer query_timer;
+  obs::TraceScope trace("query", options_.io_stats.get());
+  trace.Annotate("engine", "cubetree");
+  if (ctx != nullptr && trace.active()) ctx->set_trace_id(trace.trace_id());
   if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
   // Pin one committed generation for the whole query. Concurrent refreshes
   // publish new generations; this one stays intact (retired files included)
@@ -165,17 +169,24 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   // Route: cheapest covering view (replicas compete here too).
   const ViewDef* best = nullptr;
   double best_cost = 0;
-  for (const ViewDef& view : forest_->views()) {
-    if (!view.Covers(query.node_mask)) continue;
-    // Graceful degradation after recovery: a quarantined view is out of
-    // service, but a covering superset view (or replica) can still answer.
-    if (snapshot.IsViewQuarantined(view.id)) continue;
-    auto it = view_rows_.find(view.id);
-    const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
-    const double cost = EstimateCost(view, query, rows);
-    if (best == nullptr || cost < best_cost) {
-      best = &view;
-      best_cost = cost;
+  {
+    obs::Span route_span("route");
+    for (const ViewDef& view : forest_->views()) {
+      if (!view.Covers(query.node_mask)) continue;
+      // Graceful degradation after recovery: a quarantined view is out of
+      // service, but a covering superset view (or replica) can still answer.
+      if (snapshot.IsViewQuarantined(view.id)) continue;
+      auto it = view_rows_.find(view.id);
+      const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
+      const double cost = EstimateCost(view, query, rows);
+      if (best == nullptr || cost < best_cost) {
+        best = &view;
+        best_cost = cost;
+      }
+    }
+    if (best != nullptr && route_span.active()) {
+      route_span.Annotate("view", best->Name(schema_));
+      route_span.Annotate("estimated_cost", best_cost);
     }
   }
   if (best == nullptr) {
@@ -185,12 +196,21 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   // The routing estimate doubles as the admission cost hint: under
   // overload, the gate sheds the cheapest (least lost work) queries first.
   AdmissionTicket ticket;
-  if (options_.admission != nullptr) {
-    Timer admit_timer;
-    CT_ASSIGN_OR_RETURN(
-        ticket, options_.admission->Admit(
-                    static_cast<uint64_t>(best_cost), ctx));
-    EngineMetrics::Get().admission_wait_us->Record(admit_timer.ElapsedMicros());
+  {
+    // The span exists even without a gate so every query trace carries an
+    // explicit admission phase (gate=none ≡ nothing to wait on).
+    obs::Span admit_span("admission");
+    if (options_.admission != nullptr) {
+      Timer admit_timer;
+      CT_ASSIGN_OR_RETURN(
+          ticket, options_.admission->Admit(
+                      static_cast<uint64_t>(best_cost), ctx));
+      const uint64_t wait_us = admit_timer.ElapsedMicros();
+      EngineMetrics::Get().admission_wait_us->Record(wait_us);
+      admit_span.Annotate("wait_us", wait_us);
+    } else {
+      admit_span.Annotate("gate", "none");
+    }
   }
   // Install the ambient context so BufferPool::Fetch / PageManager::ReadPage
   // check deadline + cancellation at page granularity for the whole scan.
@@ -237,33 +257,41 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
     }
   }
   SearchStats search_stats;
-  if (exact) {
-    // Every qualifying point is exactly one result group.
-    CT_RETURN_NOT_OK(tree->QueryBox(
-        best->id, intervals,
-        [&](const Coord* coords, const AggValue& agg) {
-          ResultRow row;
-          row.group.reserve(group_positions.size());
-          for (size_t pos : group_positions) row.group.push_back(coords[pos]);
-          row.agg = agg;
-          result.rows.push_back(std::move(row));
-        },
-        &search_stats));
-  } else {
-    // Superset view: re-aggregate over the extra attributes on the fly
-    // (the paper's "additional aggregate step").
-    std::map<std::vector<Coord>, AggValue> groups;
-    std::vector<Coord> key;
-    CT_RETURN_NOT_OK(tree->QueryBox(
-        best->id, intervals,
-        [&](const Coord* coords, const AggValue& agg) {
-          key.clear();
-          for (size_t pos : group_positions) key.push_back(coords[pos]);
-          groups[key].Merge(agg);
-        },
-        &search_stats));
-    for (auto& [key2, agg] : groups) {
-      result.rows.push_back(ResultRow{key2, agg});
+  {
+    obs::Span search_span("search");
+    if (exact) {
+      // Every qualifying point is exactly one result group.
+      CT_RETURN_NOT_OK(tree->QueryBox(
+          best->id, intervals,
+          [&](const Coord* coords, const AggValue& agg) {
+            ResultRow row;
+            row.group.reserve(group_positions.size());
+            for (size_t pos : group_positions) row.group.push_back(coords[pos]);
+            row.agg = agg;
+            result.rows.push_back(std::move(row));
+          },
+          &search_stats));
+    } else {
+      // Superset view: re-aggregate over the extra attributes on the fly
+      // (the paper's "additional aggregate step").
+      std::map<std::vector<Coord>, AggValue> groups;
+      std::vector<Coord> key;
+      CT_RETURN_NOT_OK(tree->QueryBox(
+          best->id, intervals,
+          [&](const Coord* coords, const AggValue& agg) {
+            key.clear();
+            for (size_t pos : group_positions) key.push_back(coords[pos]);
+            groups[key].Merge(agg);
+          },
+          &search_stats));
+      for (auto& [key2, agg] : groups) {
+        result.rows.push_back(ResultRow{key2, agg});
+      }
+    }
+    if (search_span.active()) {
+      search_span.Annotate("plan", exact ? "slice" : "reaggregate");
+      search_span.Annotate("tuples", search_stats.points_examined);
+      search_span.Annotate("rows", static_cast<uint64_t>(result.rows.size()));
     }
   }
   if (stats != nullptr) {

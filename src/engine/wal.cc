@@ -10,6 +10,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 
 namespace cubetree {
 
@@ -95,6 +96,9 @@ Result<WriteAheadLog::ReplayStats> ReplayFromSource(
     const std::function<Status(PageId, Page*)>& read_page, PageId num_pages,
     uint64_t file_bytes, bool tolerant,
     const std::function<void(const char* data, size_t size)>& apply) {
+  obs::Span replay_span("wal.replay");
+  replay_span.Annotate("pages", static_cast<uint64_t>(num_pages));
+  replay_span.Annotate("mode", tolerant ? "tolerant" : "strict");
   WriteAheadLog::ReplayStats stats;
   Page page;
   PageId page_id = 0;
@@ -187,6 +191,7 @@ Result<WriteAheadLog::ReplayStats> ReplayFromSource(
     stats.payload_bytes += payload.size();
     stats.digest = Crc32c(payload.data(), payload.size(), stats.digest);
   }
+  replay_span.Annotate("records", stats.records);
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace cubetree {
 
@@ -255,14 +256,22 @@ Result<PhaseReport> Warehouse::UpdateCubetreesPartial(uint32_t increment) {
   if (cubetree_ == nullptr) {
     return Status::InvalidArgument("cubetree configuration not loaded");
   }
+  obs::TraceScope trace("refresh", cbt_io_.get());
+  trace.Annotate("kind", "delta_tree");
+  trace.Annotate("increment", static_cast<uint64_t>(increment));
   auto facts =
       generator_->IncrementFacts(options_.increment_fraction, increment);
   IoStats before = *cbt_io_;
   Timer timer;
-  CT_ASSIGN_OR_RETURN(
-      auto delta,
-      Compute(cubetree_views_, facts.get(),
-              "cbt_part" + std::to_string(increment), cbt_io_));
+  std::unique_ptr<ComputedViews> delta;
+  {
+    // Aggregation + external sort of the increment: the paper's "sort"
+    // phase of a refresh.
+    obs::Span sort_span("refresh.sort");
+    CT_ASSIGN_OR_RETURN(
+        delta, Compute(cubetree_views_, facts.get(),
+                       "cbt_part" + std::to_string(increment), cbt_io_));
+  }
   CT_RETURN_NOT_OK(cubetree_->ApplyDeltaPartial(delta.get()));
   PhaseReport report = FinishPhase("cubetree delta-tree update",
                                    timer.ElapsedSeconds(), before, cbt_io_);
@@ -285,14 +294,22 @@ Result<PhaseReport> Warehouse::UpdateCubetrees(uint32_t increment) {
   if (cubetree_ == nullptr) {
     return Status::InvalidArgument("cubetree configuration not loaded");
   }
+  obs::TraceScope trace("refresh", cbt_io_.get());
+  trace.Annotate("kind", "merge_pack");
+  trace.Annotate("increment", static_cast<uint64_t>(increment));
   auto facts =
       generator_->IncrementFacts(options_.increment_fraction, increment);
   IoStats before = *cbt_io_;
   Timer timer;
-  CT_ASSIGN_OR_RETURN(
-      auto delta,
-      Compute(cubetree_views_, facts.get(),
-              "cbt_inc" + std::to_string(increment), cbt_io_));
+  std::unique_ptr<ComputedViews> delta;
+  {
+    // Aggregation + external sort of the increment: the paper's "sort"
+    // phase of a refresh.
+    obs::Span sort_span("refresh.sort");
+    CT_ASSIGN_OR_RETURN(
+        delta, Compute(cubetree_views_, facts.get(),
+                       "cbt_inc" + std::to_string(increment), cbt_io_));
+  }
   CT_RETURN_NOT_OK(cubetree_->ApplyDelta(delta.get()));
   PhaseReport report = FinishPhase("cubetree merge-pack update",
                                    timer.ElapsedSeconds(), before, cbt_io_);

@@ -1,0 +1,277 @@
+#ifndef CUBETREE_OBS_TRACE_H_
+#define CUBETREE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "storage/io_stats.h"
+
+namespace cubetree {
+namespace obs {
+
+class Trace;
+class Tracer;
+
+namespace trace_internal {
+
+/// The ambient trace of this thread: set by TraceScope, consulted by every
+/// Span constructor and by the storage-layer attribution hooks
+/// (NotePageRead / NotePoolHit). One thread builds one trace at a time, so
+/// no synchronization is needed until the trace is published.
+struct AmbientTrace {
+  Trace* trace = nullptr;
+  int32_t span = -1;  // Index of the innermost open span.
+};
+
+extern thread_local AmbientTrace t_ambient;
+
+}  // namespace trace_internal
+
+/// One node of a trace's span tree. Timestamps are steady-clock
+/// nanoseconds, so spans of different traces in one process share a
+/// timeline (which is what makes the Chrome trace-event export coherent).
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;  // 0 while the span is still open.
+  int32_t parent = -1;  // Index into Trace::spans(); -1 = root.
+  std::vector<std::pair<std::string, JsonValue>> annotations;
+
+  /// Storage attribution, self only (not including child spans): physical
+  /// page reads (PageManager::ReadPage) and buffer-pool hits
+  /// (BufferPool::Fetch) that happened while this span was innermost.
+  uint64_t pages_read = 0;
+  uint64_t pool_hits = 0;
+
+  /// Delta of the trace's attached IoStats over the span's lifetime
+  /// (sequential/random split). Zero when no IoStats was attached. Unlike
+  /// pages_read this is process-wide, so concurrent activity on the same
+  /// IoStats pollutes it; single-threaded phases (refresh, one query) read
+  /// it exactly.
+  IoStats io;
+
+  uint64_t DurationMicros() const { return (end_ns - start_ns) / 1000; }
+};
+
+/// A completed or in-flight span tree. Built single-threaded by the thread
+/// that owns the TraceScope; published to the Tracer as an immutable
+/// shared_ptr<const Trace> when the scope closes.
+class Trace {
+ public:
+  Trace(uint64_t id, const IoStats* io) : id_(id), io_(io) {}
+
+  uint64_t id() const { return id_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Name and duration of the root span ("" / 0 before any span opened).
+  const std::string& name() const;
+  uint64_t DurationMicros() const;
+
+  /// Nested span-tree document: {"trace_id", "name", "duration_us",
+  /// "root": {"name", "start_us", "duration_us", "pages_read",
+  /// "pool_hits", ["io"], ["annotations"], ["children"]}}. start_us is
+  /// relative to the root span.
+  JsonValue TreeJson() const;
+
+  /// This trace's spans as an array of Chrome trace-event objects
+  /// (ph = "X" complete events; tid = trace id so each trace gets its own
+  /// track). Tracer::ChromeTraceJson wraps them in the file envelope.
+  JsonValue TraceEventsJson() const;
+
+  /// Indented human-readable rendering for ctsql's \trace command.
+  std::string DebugString() const;
+
+  // --- Builder API (used by Span / TraceScope / the attribution hooks;
+  // all calls must come from the owning thread). ---
+  int32_t OpenSpan(const char* name, int32_t parent);
+  void CloseSpan(int32_t index);
+  void Annotate(int32_t index, const char* key, JsonValue value);
+  void AddPageRead(int32_t index) { ++spans_[index].pages_read; }
+  void AddPoolHit(int32_t index) { ++spans_[index].pool_hits; }
+
+ private:
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  uint64_t id_;
+  const IoStats* io_;  // Nullable; snapshotted per span when present.
+  std::vector<SpanRecord> spans_;
+  std::vector<IoStats> open_io_;  // Per-span IoStats snapshot at open.
+};
+
+/// RAII span. Construction is a no-op (one thread-local load and a branch)
+/// when the thread has no ambient trace, so instrumentation points in hot
+/// paths cost nothing while tracing is off.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+
+  void Annotate(const char* key, const std::string& value);
+  void Annotate(const char* key, const char* value);
+  void Annotate(const char* key, int64_t value);
+  void Annotate(const char* key, uint64_t value);
+  void Annotate(const char* key, double value);
+
+ private:
+  Trace* trace_ = nullptr;
+  int32_t index_ = -1;
+  int32_t parent_ = -1;
+};
+
+/// RAII trace root. If the process tracer is enabled and the thread has no
+/// ambient trace, starts a new trace (with `io` attached for per-span
+/// IoStats deltas) and publishes it to the tracer's ring on destruction —
+/// also feeding the slow-query log. If a trace is already ambient
+/// (e.g. a query executed inside a traced refresh), degrades to a plain
+/// child span. If the tracer is disabled, a complete no-op.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const IoStats* io = nullptr);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  /// Id of the trace this scope writes into (0 when inactive).
+  uint64_t trace_id() const;
+
+  void Annotate(const char* key, const std::string& value);
+  void Annotate(const char* key, int64_t value);
+  void Annotate(const char* key, uint64_t value);
+
+ private:
+  std::unique_ptr<Trace> owned_;  // Set only when this scope started the trace.
+  Trace* trace_ = nullptr;
+  int32_t index_ = -1;
+  int32_t parent_ = -1;
+};
+
+/// Process-wide tracing control: the enable flag, the bounded ring buffer
+/// of completed traces, the Chrome trace-event exporter, and the
+/// slow-query log.
+///
+/// The ring holds its slots under a mutex taken only when a whole trace
+/// completes (Publish) or is exported — never on the per-span hot path,
+/// which stays a thread-local pointer chase. A mutex beats
+/// std::atomic<shared_ptr> here: libstdc++'s _Sp_atomic is an internal
+/// spinlock anyway (so not lock-free either), and its reader path unlocks
+/// with relaxed ordering, which ThreadSanitizer correctly reports as a
+/// data race against the writer's pointer swap.
+///
+/// Environment (read once, when Instance() first runs):
+///   CUBETREE_TRACE=1            enable tracing at startup
+///   CUBETREE_SLOW_QUERY_US=<n>  arm the slow-query log at n microseconds
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  /// The process-wide tracer. Tests may construct private instances, but
+  /// TraceScope always publishes here.
+  static Tracer& Instance();
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  /// Disabled-tracer overhead is this one relaxed load (plus a branch) per
+  /// would-be trace root.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  uint64_t NextTraceId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Inserts a completed trace, evicting the oldest resident once the ring
+  /// is full. Safe from any thread; the mutex is held only for the slot
+  /// assignment.
+  void Publish(std::shared_ptr<const Trace> trace);
+
+  /// The most recently published trace; nullptr when empty.
+  std::shared_ptr<const Trace> LastTrace() const;
+
+  /// Every resident trace, oldest first.
+  std::vector<std::shared_ptr<const Trace>> AllTraces() const;
+
+  void Clear();
+  size_t capacity() const { return capacity_; }
+
+  /// {"displayTimeUnit": "ms", "traceEvents": [...]} over `traces` —
+  /// loadable in Perfetto / chrome://tracing.
+  static JsonValue ChromeTraceJson(
+      const std::vector<std::shared_ptr<const Trace>>& traces);
+  /// Convenience: ChromeTraceJson over the current ring contents.
+  JsonValue ExportAllJson() const { return ChromeTraceJson(AllTraces()); }
+
+  // --- Slow-query log ---------------------------------------------------
+  /// Traces whose root span exceeds `us` microseconds emit one compact
+  /// JSON line (the full span tree) to stderr when published. Negative
+  /// disables (the default unless CUBETREE_SLOW_QUERY_US is set).
+  void SetSlowTraceThresholdMicros(int64_t us) {
+    slow_threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t slow_trace_threshold_micros() const {
+    return slow_threshold_us_.load(std::memory_order_relaxed);
+  }
+  /// Rate limit: at most one slow-trace line per interval; the next
+  /// emitted line carries a "suppressed" count for the dropped ones.
+  void SetSlowTraceLogIntervalMillis(int64_t ms) {
+    slow_interval_us_.store(ms * 1000, std::memory_order_relaxed);
+  }
+  /// Test hook: redirect slow-trace lines away from stderr. Pass nullptr
+  /// to restore stderr.
+  void SetSlowTraceSinkForTest(std::function<void(const std::string&)> sink);
+
+  /// Called by ~TraceScope after Publish. Public for tests.
+  void MaybeLogSlowTrace(const Trace& trace);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{0};
+  const size_t capacity_;
+  mutable std::mutex ring_mu_;
+  uint64_t next_slot_ = 0;  // Guarded by ring_mu_.
+  std::vector<std::shared_ptr<const Trace>> slots_;  // Guarded by ring_mu_.
+
+  std::atomic<int64_t> slow_threshold_us_{-1};
+  std::atomic<int64_t> slow_interval_us_{1000 * 1000};  // 1s default.
+  std::atomic<uint64_t> slow_last_emit_us_{0};
+  std::atomic<uint64_t> slow_suppressed_{0};
+  std::mutex sink_mu_;
+  std::function<void(const std::string&)> sink_;  // Empty = stderr.
+};
+
+/// Storage-layer attribution hooks: one thread-local load and a branch
+/// when no trace is ambient. Called by PageManager::ReadPage (physical
+/// read) and the BufferPool::Fetch hit path.
+inline void NotePageRead() {
+  const trace_internal::AmbientTrace& a = trace_internal::t_ambient;
+  if (a.trace != nullptr) a.trace->AddPageRead(a.span);
+}
+
+inline void NotePoolHit() {
+  const trace_internal::AmbientTrace& a = trace_internal::t_ambient;
+  if (a.trace != nullptr) a.trace->AddPoolHit(a.span);
+}
+
+/// The trace this thread is currently building, or nullptr.
+inline Trace* CurrentTrace() { return trace_internal::t_ambient.trace; }
+
+}  // namespace obs
+}  // namespace cubetree
+
+#endif  // CUBETREE_OBS_TRACE_H_

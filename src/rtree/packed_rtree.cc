@@ -9,6 +9,7 @@
 #include "common/coding.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/node.h"
 
 namespace cubetree {
@@ -235,47 +236,71 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Open(
   return tree;
 }
 
-Status PackedRTree::SearchNode(
-    PageId node_id, const Rect& query,
-    const std::function<void(const PointRecord&)>& emit, SearchStats* stats) {
+Status PackedRTree::CollectLeaves(PageId node_id, const Rect& query,
+                                  std::vector<PageId>* leaves,
+                                  SearchStats* stats) {
   CT_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(file_.get(), node_id));
   const char* page = handle.data();
-  const uint16_t count = RNodeCount(page);
   if (RNodeIsLeaf(page)) {
-    if (stats != nullptr) ++stats->leaf_pages;
-    const uint8_t arity = RNodeArity(page);
-    const uint32_t view_id = RNodeViewId(page);
-    CT_DCHECK(arity <= options_.dims) << "corrupt leaf arity in " << path();
-    CT_DCHECK(count <= RLeafCapacity(arity))
-        << "corrupt leaf count in " << path();
-    const size_t entry_bytes = RLeafEntryBytes(arity);
-    PointRecord rec;
-    for (uint16_t i = 0; i < count; ++i) {
-      RLeafReadEntry(page + kRNodeHeaderSize + i * entry_bytes, arity,
-                     view_id, &rec);
-      if (stats != nullptr) ++stats->points_examined;
-      if (query.ContainsPoint(rec.coords, options_.dims)) {
-        if (stats != nullptr) ++stats->points_emitted;
-        emit(rec);
-      }
-    }
+    // Descent should never fetch a leaf (the id range test below keeps it
+    // out of them); if the invariant is ever violated, still answer
+    // correctly by handing the page to the scan phase.
+    leaves->push_back(node_id);
     return Status::OK();
   }
-  if (stats != nullptr) ++stats->internal_pages;
+  ++stats->internal_pages;
+  const uint16_t count = RNodeCount(page);
   const size_t entry_bytes = RInternalEntryBytes(options_.dims);
   // Collect matching children first so the handle is released before
-  // recursion (keeps pinned frames bounded by tree height).
+  // recursion (keeps pinned frames bounded by tree height). Children in
+  // the leaf id range go straight to the candidate list; packing builds
+  // each internal node over a single level, so a node's children are
+  // either all leaves or all internal and DFS entry order is preserved.
   std::vector<PageId> matches;
   Rect mbr;
   PageId child;
   for (uint16_t i = 0; i < count; ++i) {
     RInternalReadEntry(page + kRNodeHeaderSize + i * entry_bytes,
                        options_.dims, &mbr, &child);
-    if (query.Intersects(mbr, options_.dims)) matches.push_back(child);
+    if (!query.Intersects(mbr, options_.dims)) continue;
+    if (child != 0 && child <= num_leaf_pages_) {
+      leaves->push_back(child);
+    } else {
+      matches.push_back(child);
+    }
   }
   handle.Release();
   for (PageId m : matches) {
-    CT_RETURN_NOT_OK(SearchNode(m, query, emit, stats));
+    CT_RETURN_NOT_OK(CollectLeaves(m, query, leaves, stats));
+  }
+  return Status::OK();
+}
+
+Status PackedRTree::ScanLeaf(
+    PageId leaf_id, const Rect& query,
+    const std::function<void(const PointRecord&)>& emit, SearchStats* stats) {
+  CT_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(file_.get(), leaf_id));
+  const char* page = handle.data();
+  if (!RNodeIsLeaf(page)) {
+    return Status::Corruption("rtree: expected leaf page in " + path());
+  }
+  ++stats->leaf_pages;
+  const uint16_t count = RNodeCount(page);
+  const uint8_t arity = RNodeArity(page);
+  const uint32_t view_id = RNodeViewId(page);
+  CT_DCHECK(arity <= options_.dims) << "corrupt leaf arity in " << path();
+  CT_DCHECK(count <= RLeafCapacity(arity))
+      << "corrupt leaf count in " << path();
+  const size_t entry_bytes = RLeafEntryBytes(arity);
+  PointRecord rec;
+  for (uint16_t i = 0; i < count; ++i) {
+    RLeafReadEntry(page + kRNodeHeaderSize + i * entry_bytes, arity, view_id,
+                   &rec);
+    ++stats->points_examined;
+    if (query.ContainsPoint(rec.coords, options_.dims)) {
+      ++stats->points_emitted;
+      emit(rec);
+    }
   }
   return Status::OK();
 }
@@ -284,7 +309,35 @@ Status PackedRTree::Search(const Rect& query,
                            const std::function<void(const PointRecord&)>& emit,
                            SearchStats* stats) {
   if (root_ == kInvalidPageId) return Status::OK();
-  return SearchNode(root_, query, emit, stats);
+  SearchStats local;
+  SearchStats* s = stats != nullptr ? stats : &local;
+  std::vector<PageId> leaves;
+  {
+    obs::Span descent("rtree.descent");
+    if (root_ != 0 && root_ <= num_leaf_pages_) {
+      // Single-leaf tree: no internal levels to descend.
+      leaves.push_back(root_);
+    } else {
+      CT_RETURN_NOT_OK(CollectLeaves(root_, query, &leaves, s));
+    }
+    if (descent.active()) {
+      descent.Annotate("internal_pages", s->internal_pages);
+      descent.Annotate("candidate_leaves",
+                       static_cast<uint64_t>(leaves.size()));
+    }
+  }
+  {
+    obs::Span scan("rtree.scan");
+    for (PageId leaf : leaves) {
+      CT_RETURN_NOT_OK(ScanLeaf(leaf, query, emit, s));
+    }
+    if (scan.active()) {
+      scan.Annotate("leaf_pages", s->leaf_pages);
+      scan.Annotate("points_examined", s->points_examined);
+      scan.Annotate("points_emitted", s->points_emitted);
+    }
+  }
+  return Status::OK();
 }
 
 namespace {

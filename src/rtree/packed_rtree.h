@@ -151,9 +151,20 @@ class PackedRTree {
   PackedRTree(std::unique_ptr<PageManager> file, RTreeOptions options,
               BufferPool* pool);
 
-  Status SearchNode(PageId node, const Rect& query,
-                    const std::function<void(const PointRecord&)>& emit,
-                    SearchStats* stats);
+  /// Search runs in two phases so traces show honest "descent" and "scan"
+  /// costs. Descent walks internal pages only, collecting qualifying leaf
+  /// page ids in DFS entry order (the layout invariant — leaves occupy
+  /// pages 1..num_leaf_pages_ — lets a child be classified without
+  /// fetching it); the scan phase then fetches each collected leaf and
+  /// emits its matching points. Emission order matches the old interleaved
+  /// recursion exactly, because every internal node's children live on one
+  /// level (bottom-up packing), so no node mixes leaf and internal
+  /// children.
+  Status CollectLeaves(PageId node, const Rect& query,
+                       std::vector<PageId>* leaves, SearchStats* stats);
+  Status ScanLeaf(PageId leaf, const Rect& query,
+                  const std::function<void(const PointRecord&)>& emit,
+                  SearchStats* stats);
 
   std::unique_ptr<PageManager> file_;
   RTreeOptions options_;

@@ -9,6 +9,7 @@
 
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sort/loser_tree.h"
 
 namespace cubetree {
@@ -190,6 +191,9 @@ Status ExternalSorter::SpillRun() {
   const size_t rs = options_.record_size;
   const size_t per_page = kPageSize / rs;
   const size_t n = buffer_.size() / rs;
+  obs::Span spill_span("sort.spill");
+  spill_span.Annotate("records", static_cast<uint64_t>(n));
+  spill_span.Annotate("bytes", static_cast<uint64_t>(n * rs));
   std::string path = NextRunPath(options_.temp_dir);
   CT_ASSIGN_OR_RETURN(auto file, PageManager::Create(path, options_.io_stats));
   Page page;
@@ -217,6 +221,8 @@ Status ExternalSorter::SpillRun() {
 
 Status ExternalSorter::MergeRunRange(size_t begin, size_t end) {
   CT_FAULT("sort.merge");
+  obs::Span merge_span("sort.merge");
+  merge_span.Annotate("runs", static_cast<uint64_t>(end - begin));
   std::vector<RunReader> readers;
   uint64_t total = 0;
   for (size_t i = begin; i < end; ++i) {

@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "common/query_context.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cubetree {
 
@@ -186,6 +187,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
   if (it != page_table_.end()) {
     ++stats_.hits;
     PoolMetrics::Get().hits->Increment();
+    obs::NotePoolHit();
     size_t idx = it->second;
     Frame& f = frames_[idx];
     if (f.in_lru) {

@@ -13,6 +13,7 @@
 #include "common/query_context.h"
 #include "common/rng.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 
 namespace cubetree {
 
@@ -266,6 +267,9 @@ Status PageManager::ReadPage(PageId id, Page* page) {
   }
   if (!status.ok()) return status;
   RecordRead(id);
+  // Attribute the physical read to the innermost span of the ambient trace
+  // (one thread-local load when no trace is active).
+  obs::NotePageRead();
   return Status::OK();
 }
 
