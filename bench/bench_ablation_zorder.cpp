@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <array>
 #include <map>
 #include <vector>
@@ -76,7 +77,13 @@ int Run(int argc, char** argv) {
   std::printf("top view: %zu groups\n", points.size());
   BufferPool pool(4096);
   const std::string dir = args.dir + "_zorder";
-  (void)system(("mkdir -p " + dir).c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
 
   // Variant 1: pack order, one tree per sort order (as the system does:
   // base + 2 replicas — here we build the base (p,s,c) order only and

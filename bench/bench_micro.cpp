@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,15 @@ namespace cubetree {
 namespace {
 
 const char* kDir = "ctbench_micro";
+
+void MakeBenchDir(const char* dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir %s: %s\n", dir, ec.message().c_str());
+    std::exit(1);
+  }
+}
 
 std::vector<PointRecord> MakeSortedPoints(uint32_t n) {
   std::vector<PointRecord> points;
@@ -45,7 +55,7 @@ std::vector<PointRecord> MakeSortedPoints(uint32_t n) {
 }
 
 void BM_PackedRTreeBuild(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   auto points = MakeSortedPoints(n);
   BufferPool pool(256);
@@ -64,7 +74,7 @@ void BM_PackedRTreeBuild(benchmark::State& state) {
 BENCHMARK(BM_PackedRTreeBuild)->Arg(10000)->Arg(100000)->Arg(500000);
 
 void BM_PackedRTreeSearch(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   const uint32_t n = 200000;
   auto points = MakeSortedPoints(n);
   BufferPool pool(4096);
@@ -96,7 +106,7 @@ void BM_PackedRTreeSearch(benchmark::State& state) {
 BENCHMARK(BM_PackedRTreeSearch);
 
 void BM_MergePack(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   const uint32_t n = static_cast<uint32_t>(state.range(0));
   auto base = MakeSortedPoints(n);
   auto delta = MakeSortedPoints(n / 10);
@@ -120,7 +130,7 @@ void BM_MergePack(benchmark::State& state) {
 BENCHMARK(BM_MergePack)->Arg(100000);
 
 void BM_BTreeInsertRandom(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   for (auto _ : state) {
     state.PauseTiming();
     BufferPool pool(1024);
@@ -146,7 +156,7 @@ void BM_BTreeInsertRandom(benchmark::State& state) {
 BENCHMARK(BM_BTreeInsertRandom)->Arg(100000);
 
 void BM_BTreeLookup(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   BufferPool pool(4096);
   BTreeOptions options;
   options.key_parts = 1;
@@ -158,7 +168,13 @@ void BM_BTreeLookup(benchmark::State& state) {
   const uint32_t n = 200000;
   for (uint32_t i = 0; i < n; ++i) {
     uint32_t key[1] = {i * 2 + 1};
-    (void)tree->Insert(key, value);
+    Status st = tree->Insert(key, value);
+    if (!st.ok()) {
+      // A dropped error here would make the lookup loop silently measure a
+      // partially-populated tree.
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
   }
   Rng rng(9);
   char out[8];
@@ -172,7 +188,7 @@ void BM_BTreeLookup(benchmark::State& state) {
 BENCHMARK(BM_BTreeLookup);
 
 void BM_ExternalSort(benchmark::State& state) {
-  (void)system(("mkdir -p " + std::string(kDir)).c_str());
+  MakeBenchDir(kDir);
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ExternalSorter::Options options;

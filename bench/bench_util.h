@@ -3,6 +3,7 @@
 
 #include <climits>
 #include <cstdio>
+#include <filesystem>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -193,8 +194,13 @@ inline TpcdViewData ComputeTpcdViews(const BenchArgs& args,
                                      const std::string& subdir,
                                      std::shared_ptr<IoStats> io = nullptr) {
   const std::string dir = args.dir + "_" + subdir;
-  std::string cmd = "mkdir -p " + dir;
-  if (std::system(cmd.c_str()) != 0) std::exit(1);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    std::exit(1);
+  }
   TpcdViewData out;
   tpcd::TpcdOptions gen_options;
   gen_options.scale_factor = args.sf;

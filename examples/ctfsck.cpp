@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,7 +126,15 @@ int ListFailpoints() {
 
 int SelfDemo(const CliOptions& cli) {
   std::printf("ctfsck self-demo: building a small forest first...\n");
-  (void)system("rm -rf ctfsck_demo && mkdir -p ctfsck_demo");
+  std::error_code ec;
+  std::filesystem::remove_all("ctfsck_demo", ec);
+  ec.clear();
+  std::filesystem::create_directories("ctfsck_demo", ec);
+  if (ec) {
+    std::fprintf(stderr, "ctfsck: mkdir ctfsck_demo: %s\n",
+                 ec.message().c_str());
+    return kExitIo;
+  }
   BufferPool pool(cli.pool_pages);
   CubetreeForest::Options options;
   options.dir = "ctfsck_demo";

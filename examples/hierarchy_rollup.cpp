@@ -7,6 +7,7 @@
 //
 // Build & run:  ./build/examples/hierarchy_rollup
 
+#include <filesystem>
 #include <algorithm>
 #include <cstdio>
 
@@ -32,7 +33,14 @@ ViewDef MakeView(uint32_t id, std::vector<uint32_t> attrs) {
 
 int main() {
   InitLogLevelFromEnv();
-  (void)system("rm -rf hierarchy_data && mkdir -p hierarchy_data");
+  std::error_code ec;
+  std::filesystem::remove_all("hierarchy_data", ec);
+  ec.clear();
+  std::filesystem::create_directories("hierarchy_data", ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir hierarchy_data: %s\n", ec.message().c_str());
+    return 1;
+  }
 
   tpcd::TpcdOptions gen_options;
   gen_options.scale_factor = 0.01;
@@ -71,7 +79,10 @@ int main() {
   if (!engine_result.ok()) return 1;
   auto engine = std::move(engine_result).value();
   if (!engine->Load(views, data.get()).ok()) return 1;
-  (void)data->Destroy();
+  if (Status destroyed = data->Destroy(); !destroyed.ok()) {
+    std::fprintf(stderr, "cleanup: %s\n", destroyed.ToString().c_str());
+    return 1;
+  }
 
   auto dims_result = DimensionTables::Load("hierarchy_data", generator,
                                            &pool);

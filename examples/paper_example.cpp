@@ -7,6 +7,7 @@
 //    allocation onto three Cubetrees.
 //  * Figure 4's queries Q1/Q2 answered as slices of the index space.
 
+#include <filesystem>
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -42,7 +43,14 @@ PointRecord MakePoint(uint32_t view, std::vector<Coord> coords,
 
 int main() {
   InitLogLevelFromEnv();
-  (void)system("rm -rf paper_example_data && mkdir -p paper_example_data");
+  std::error_code ec;
+  std::filesystem::remove_all("paper_example_data", ec);
+  ec.clear();
+  std::filesystem::create_directories("paper_example_data", ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir paper_example_data: %s\n", ec.message().c_str());
+    return 1;
+  }
 
   // --- Tables 1 and 2: view V8{partkey} -------------------------------
   std::printf("Table 1 (data for view V8):\n  partkey  sum(quantity)\n");

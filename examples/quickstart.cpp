@@ -4,6 +4,7 @@
 //
 // Build & run:  ./build/examples/quickstart
 
+#include <filesystem>
 #include <cstdio>
 #include <vector>
 
@@ -58,7 +59,14 @@ class Facts : public FactProvider {
 
 int main() {
   InitLogLevelFromEnv();
-  (void)system("rm -rf quickstart_data && mkdir -p quickstart_data");
+  std::error_code ec;
+  std::filesystem::remove_all("quickstart_data", ec);
+  ec.clear();
+  std::filesystem::create_directories("quickstart_data", ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir quickstart_data: %s\n", ec.message().c_str());
+    return 1;
+  }
 
   // 1. Describe the grouping attributes of the warehouse.
   CubeSchema schema;

@@ -19,7 +19,7 @@ Status MemoryBudget::Exhausted(uint64_t requested, uint64_t used_now,
 }
 
 Status MemoryBudget::TryReserve(uint64_t bytes, const char* who) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (bytes > capacity_ - used_) return Exhausted(bytes, used_, who);
   used_ += bytes;
   return Status::OK();
@@ -28,7 +28,7 @@ Status MemoryBudget::TryReserve(uint64_t bytes, const char* who) {
 Result<uint64_t> MemoryBudget::ReserveUpTo(uint64_t min_bytes,
                                            uint64_t want_bytes,
                                            const char* who) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t free = capacity_ - used_;
   if (free < min_bytes) return Exhausted(min_bytes, used_, who);
   const uint64_t granted = want_bytes < free ? want_bytes : free;
@@ -37,17 +37,17 @@ Result<uint64_t> MemoryBudget::ReserveUpTo(uint64_t min_bytes,
 }
 
 void MemoryBudget::Release(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   used_ = bytes > used_ ? 0 : used_ - bytes;
 }
 
 uint64_t MemoryBudget::used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return used_;
 }
 
 uint64_t MemoryBudget::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_ - used_;
 }
 

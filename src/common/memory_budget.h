@@ -2,11 +2,11 @@
 #define CUBETREE_COMMON_MEMORY_BUDGET_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cubetree {
 
@@ -29,29 +29,29 @@ class MemoryBudget {
 
   /// All-or-nothing reservation. `who` names the component for the error
   /// message. On denial returns ResourceExhausted (IsRetriable()).
-  Status TryReserve(uint64_t bytes, const char* who);
+  Status TryReserve(uint64_t bytes, const char* who) EXCLUDES(mu_);
 
   /// Best-effort reservation: grants min(want_bytes, available) as long as
   /// at least `min_bytes` can be had, else ResourceExhausted. Lets the
   /// sorter shrink its run buffer under pressure rather than fail.
   Result<uint64_t> ReserveUpTo(uint64_t min_bytes, uint64_t want_bytes,
-                               const char* who);
+                               const char* who) EXCLUDES(mu_);
 
   /// Returns `bytes` to the pool. Releasing more than reserved is a bug;
   /// the counter saturates at zero rather than wrapping.
-  void Release(uint64_t bytes);
+  void Release(uint64_t bytes) EXCLUDES(mu_);
 
   uint64_t capacity() const { return capacity_; }
-  uint64_t used() const;
-  uint64_t available() const;
+  uint64_t used() const EXCLUDES(mu_);
+  uint64_t available() const EXCLUDES(mu_);
 
  private:
   Status Exhausted(uint64_t requested, uint64_t used_now,
                    const char* who) const;
 
   const uint64_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t used_ = 0;
+  mutable Mutex mu_;
+  uint64_t used_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII handle for a budget reservation; releases on destruction. Empty

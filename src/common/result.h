@@ -11,9 +11,10 @@ namespace cubetree {
 
 /// Result<T> carries either a value of type T or an error Status. It is the
 /// value-returning companion of Status: functions that can fail but also
-/// produce a value return Result<T>.
+/// produce a value return Result<T>. Like Status it is [[nodiscard]] —
+/// dropping a Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -31,7 +31,14 @@ enum class StatusCode : int {
 
 /// A Status is either OK (cheap, no allocation) or an error code plus a
 /// human-readable message describing what failed.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status
+/// forces its caller to consume the result, so an error can never be
+/// dropped silently. A call site that genuinely cannot act on a failure
+/// (a destructor, a best-effort cleanup path) must say so with an
+/// explicit `(void)` cast next to a comment explaining why dropping is
+/// safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -75,6 +75,9 @@ class MultiViewPointSource : public PointSource {
 /// pass. Returns the new path on success.
 bool SetAsideQuarantined(const std::string& path, std::string* aside) {
   *aside = path + ".quarantine";
+  // Not a commit point: best-effort tidying of an already-quarantined
+  // file; crash coverage lives at the manifest swap.
+  // ct-lint: allow(fault-pair)
   if (std::rename(path.c_str(), aside->c_str()) != 0) {
     CT_LOG(Warn) << "forest: cannot quarantine " << path << ": "
                  << std::strerror(errno);
@@ -105,7 +108,7 @@ TrackedFile::TrackedFile(std::string path, std::shared_ptr<GcShared> gc)
 void TrackedFile::Retire() {
   if (retired_.exchange(true, std::memory_order_relaxed)) return;
   {
-    std::lock_guard<std::mutex> lock(gc_->mu);
+    MutexLock lock(gc_->mu);
     ++gc_->unreclaimed_files;
   }
   GcBacklogGauge()->Add(1);
@@ -138,7 +141,7 @@ TrackedFile::~TrackedFile() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(gc_->mu);
+    MutexLock lock(gc_->mu);
     --gc_->unreclaimed_files;
     ++gc_->reclaimed_files;
   }
@@ -147,7 +150,7 @@ TrackedFile::~TrackedFile() {
 
 EpochState::~EpochState() {
   if (gc == nullptr || !retired.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(gc->mu);
+  MutexLock lock(gc->mu);
   gc->pinned_retired_epochs.erase(epoch);
 }
 
@@ -433,6 +436,7 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Open(
     Options options, BufferPool* pool, std::shared_ptr<IoStats> io_stats) {
   CT_ASSIGN_OR_RETURN(auto forest,
                       Create(std::move(options), pool, std::move(io_stats)));
+  MutexLock lock(forest->refresh_mu_);
   CT_RETURN_NOT_OK(forest->LoadManifest(/*tolerant=*/false, nullptr));
   forest->PublishState();
   return forest;
@@ -517,7 +521,10 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Recover(
     forest->RemoveOrphan(journal, report);
   }
 
-  // 2. Load the manifest, quarantining any tree that will not open.
+  // 2. Load the manifest, quarantining any tree that will not open. The
+  // forest is not yet visible to other threads; the lock covers the whole
+  // remaining recovery so the guarded state is built under it.
+  MutexLock lock(forest->refresh_mu_);
   CT_RETURN_NOT_OK(forest->LoadManifest(/*tolerant=*/true, report));
 
   // 3. Deep-check the trees that did open; quarantine the ones that fail
@@ -613,6 +620,7 @@ std::function<uint8_t(uint32_t)> CubetreeForest::ArityFn() const {
 
 Status CubetreeForest::Build(const std::vector<ViewDef>& views,
                              ViewDataProvider* provider) {
+  MutexLock refresh_lock(refresh_mu_);
   if (!trees_.empty()) {
     return Status::InvalidArgument("forest: already built");
   }
@@ -752,11 +760,11 @@ Status CubetreeForest::BuildNextGenerations(
 }
 
 Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  MutexLock refresh_lock(refresh_mu_);
   if (trees_.empty()) {
     return Status::InvalidArgument("forest: not built yet");
   }
-  if (HasQuarantine()) {
+  if (HasQuarantineLocked()) {
     return Status::Unavailable(
         "forest: quarantined trees must be rebuilt before a refresh");
   }
@@ -842,11 +850,11 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
 }
 
 Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  MutexLock refresh_lock(refresh_mu_);
   if (trees_.empty()) {
     return Status::InvalidArgument("forest: not built yet");
   }
-  if (HasQuarantine()) {
+  if (HasQuarantineLocked()) {
     return Status::Unavailable(
         "forest: quarantined trees must be rebuilt before a refresh");
   }
@@ -929,9 +937,6 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
 }
 
 Status CubetreeForest::Compact() {
-  if (trees_.empty()) {
-    return Status::InvalidArgument("forest: not built yet");
-  }
   struct EmptyProvider : ViewDataProvider {
     Result<std::unique_ptr<RecordStream>> OpenViewStream(
         const ViewDef& view) override {
@@ -939,13 +944,14 @@ Status CubetreeForest::Compact() {
           {}, ViewRecordBytes(view.arity())));
     }
   } empty;
-  // ApplyDelta with an empty increment folds all pending deltas in.
+  // ApplyDelta with an empty increment folds all pending deltas in (and
+  // re-checks the built/quarantine preconditions under its own lock).
   return ApplyDelta(&empty);
 }
 
 Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
-  if (!HasQuarantine()) return Status::OK();
+  MutexLock refresh_lock(refresh_mu_);
+  if (!HasQuarantineLocked()) return Status::OK();
   std::vector<size_t> targets;
   for (size_t t = 0; t < trees_.size(); ++t) {
     if (quarantined_[t]) targets.push_back(t);
@@ -1016,16 +1022,23 @@ Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
 bool CubetreeForest::IsViewQuarantined(uint32_t view_id) const {
   auto it = plan_.view_to_tree.find(view_id);
   if (it == plan_.view_to_tree.end()) return false;
+  MutexLock lock(refresh_mu_);
   return it->second < quarantined_.size() && quarantined_[it->second];
 }
 
-size_t CubetreeForest::NumQuarantinedTrees() const {
+size_t CubetreeForest::NumQuarantinedTreesLocked() const {
   size_t total = 0;
   for (bool q : quarantined_) total += q ? 1 : 0;
   return total;
 }
 
+size_t CubetreeForest::NumQuarantinedTrees() const {
+  MutexLock lock(refresh_mu_);
+  return NumQuarantinedTreesLocked();
+}
+
 Result<std::map<uint32_t, uint64_t>> CubetreeForest::CountPointsPerView() {
+  MutexLock lock(refresh_mu_);
   std::map<uint32_t, uint64_t> counts;
   for (const ViewDef& v : views_) counts[v.id] = 0;
   for (size_t t = 0; t < trees_.size(); ++t) {
@@ -1049,6 +1062,7 @@ Result<std::map<uint32_t, uint64_t>> CubetreeForest::CountPointsPerView() {
 }
 
 size_t CubetreeForest::TotalDeltas() const {
+  MutexLock lock(refresh_mu_);
   size_t total = 0;
   for (const auto& tree : trees_) {
     if (tree) total += tree->num_deltas();
@@ -1061,6 +1075,7 @@ Result<Cubetree*> CubetreeForest::TreeForView(uint32_t view_id) {
   if (it == plan_.view_to_tree.end()) {
     return Status::NotFound("forest: view not materialized");
   }
+  MutexLock lock(refresh_mu_);
   if (it->second < quarantined_.size() && quarantined_[it->second]) {
     return Status::Unavailable("forest: view " + std::to_string(view_id) +
                                " is quarantined awaiting rebuild");
@@ -1077,6 +1092,7 @@ Result<const ViewDef*> CubetreeForest::view(uint32_t view_id) const {
 }
 
 uint64_t CubetreeForest::TotalSizeBytes() const {
+  MutexLock lock(refresh_mu_);
   uint64_t total = 0;
   for (const auto& tree : trees_) {
     if (tree) total += tree->TotalSizeBytes();
@@ -1085,6 +1101,7 @@ uint64_t CubetreeForest::TotalSizeBytes() const {
 }
 
 uint64_t CubetreeForest::TotalPoints() const {
+  MutexLock lock(refresh_mu_);
   uint64_t total = 0;
   for (const auto& tree : trees_) {
     if (tree) total += tree->TotalPoints();
@@ -1126,7 +1143,7 @@ void CubetreeForest::PublishState() {
                               : std::make_shared<TrackedFile>(path, gc_));
   }
   {
-    std::lock_guard<std::mutex> lock(gc_->mu);
+    MutexLock lock(gc_->mu);
     gc_->live_epoch = next->epoch;
     if (old != nullptr) gc_->pinned_retired_epochs.insert(old->epoch);
   }
@@ -1155,7 +1172,7 @@ ForestSnapshot CubetreeForest::AcquireSnapshot() const {
 }
 
 ForestGcStats CubetreeForest::GcStats() const {
-  std::lock_guard<std::mutex> lock(gc_->mu);
+  MutexLock lock(gc_->mu);
   ForestGcStats stats;
   stats.live_epoch = gc_->live_epoch;
   stats.pinned_epochs = gc_->pinned_retired_epochs.size();
@@ -1174,7 +1191,7 @@ std::vector<std::string> CubetreeForest::LiveFiles() const {
 }
 
 Status CubetreeForest::Destroy() {
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  MutexLock refresh_lock(refresh_mu_);
   // Drop the published epoch first (snapshots must already be released per
   // the API contract); its tokens are unretired, so this deletes nothing —
   // the explicit removal below does.

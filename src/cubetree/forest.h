@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cubetree/cubetree.h"
 #include "cubetree/select_mapping.h"
 #include "cubetree/view_def.h"
@@ -40,11 +40,11 @@ namespace forest_internal {
 /// Reclamation bookkeeping shared by the forest and every epoch state it
 /// ever published; outlives the forest if snapshots do.
 struct GcShared {
-  std::mutex mu;
-  uint64_t live_epoch = 0;
-  std::set<uint64_t> pinned_retired_epochs;
-  uint64_t unreclaimed_files = 0;
-  uint64_t reclaimed_files = 0;
+  Mutex mu;
+  uint64_t live_epoch GUARDED_BY(mu) = 0;
+  std::set<uint64_t> pinned_retired_epochs GUARDED_BY(mu);
+  uint64_t unreclaimed_files GUARDED_BY(mu) = 0;
+  uint64_t reclaimed_files GUARDED_BY(mu) = 0;
 };
 
 /// One on-disk tree file tracked for epoch-based reclamation. Every epoch
@@ -239,57 +239,71 @@ class CubetreeForest {
       RecoverOptions recover = RecoverOptions());
 
   /// Plans placement and bulk-builds every tree. Call once.
-  Status Build(const std::vector<ViewDef>& views, ViewDataProvider* provider);
+  Status Build(const std::vector<ViewDef>& views, ViewDataProvider* provider)
+      EXCLUDES(refresh_mu_);
 
   /// Bulk-incremental refresh: merge-packs each tree with the delta streams
   /// (the architecture of the paper's Figure 15). Old tree files are
   /// replaced atomically from the caller's perspective. Any pending delta
   /// trees are folded in as well.
-  Status ApplyDelta(ViewDataProvider* delta_provider);
+  Status ApplyDelta(ViewDataProvider* delta_provider) EXCLUDES(refresh_mu_);
 
   /// LSM-style refresh extension: packs the increment into small *delta
   /// trees* attached to each main tree instead of rewriting the mains.
   /// Refresh cost becomes proportional to the increment; queries pay a
   /// small extra search per pending delta until Compact().
-  Status ApplyDeltaPartial(ViewDataProvider* delta_provider);
+  Status ApplyDeltaPartial(ViewDataProvider* delta_provider)
+      EXCLUDES(refresh_mu_);
 
   /// Merge-packs every tree's main + pending deltas into a fresh main
   /// tree and retires the delta files.
-  Status Compact();
+  Status Compact() EXCLUDES(refresh_mu_);
 
   /// Rebuilds every quarantined tree from scratch: `provider` must supply
   /// the full current contents of each affected view (base data, not a
   /// delta). New generations are built beside the quarantined files, the
   /// manifest is swapped durably, and the ".quarantine" files are removed.
-  Status RebuildQuarantined(ViewDataProvider* provider);
+  Status RebuildQuarantined(ViewDataProvider* provider)
+      EXCLUDES(refresh_mu_);
 
   /// True if the tree materializing `view_id` is quarantined (queries
   /// against it return Unavailable until RebuildQuarantined runs).
-  bool IsViewQuarantined(uint32_t view_id) const;
-  size_t NumQuarantinedTrees() const;
-  bool HasQuarantine() const { return NumQuarantinedTrees() > 0; }
+  bool IsViewQuarantined(uint32_t view_id) const EXCLUDES(refresh_mu_);
+  size_t NumQuarantinedTrees() const EXCLUDES(refresh_mu_);
+  bool HasQuarantine() const EXCLUDES(refresh_mu_) {
+    return NumQuarantinedTrees() > 0;
+  }
 
   /// Stored points per view id, from a full scan of every healthy tree
   /// (main + deltas). Used to re-derive router statistics after recovery.
-  Result<std::map<uint32_t, uint64_t>> CountPointsPerView();
+  Result<std::map<uint32_t, uint64_t>> CountPointsPerView()
+      EXCLUDES(refresh_mu_);
 
   /// Pending delta trees across the forest.
-  size_t TotalDeltas() const;
+  size_t TotalDeltas() const EXCLUDES(refresh_mu_);
 
   const ForestPlan& plan() const { return plan_; }
-  size_t num_trees() const { return trees_.size(); }
-  /// nullptr when tree `i` is quarantined.
-  Cubetree* tree(size_t i) { return trees_[i].get(); }
+  size_t num_trees() const EXCLUDES(refresh_mu_) {
+    MutexLock lock(refresh_mu_);
+    return trees_.size();
+  }
+  /// nullptr when tree `i` is quarantined. Like the other direct
+  /// accessors, a single-threaded convenience: the returned pointer is
+  /// only stable while no refresh commits.
+  Cubetree* tree(size_t i) EXCLUDES(refresh_mu_) {
+    MutexLock lock(refresh_mu_);
+    return trees_[i].get();
+  }
 
-  Result<Cubetree*> TreeForView(uint32_t view_id);
+  Result<Cubetree*> TreeForView(uint32_t view_id) EXCLUDES(refresh_mu_);
   Result<const ViewDef*> view(uint32_t view_id) const;
   const std::vector<ViewDef>& views() const { return views_; }
 
   /// Total bytes across all tree files (storage footprint of the
   /// organization, index included — there is nothing else).
-  uint64_t TotalSizeBytes() const;
+  uint64_t TotalSizeBytes() const EXCLUDES(refresh_mu_);
   /// Total stored points across all trees.
-  uint64_t TotalPoints() const;
+  uint64_t TotalPoints() const EXCLUDES(refresh_mu_);
 
   /// Pins the currently published generation. Wait-free; safe to call from
   /// any thread concurrently with refreshes. Returns an invalid snapshot
@@ -306,7 +320,7 @@ class CubetreeForest {
   std::vector<std::string> LiveFiles() const;
 
   /// Removes all tree files.
-  Status Destroy();
+  Status Destroy() EXCLUDES(refresh_mu_);
 
  private:
   CubetreeForest(Options options, BufferPool* pool,
@@ -331,19 +345,21 @@ class CubetreeForest {
   Status SaveManifestDurable(
       const std::vector<uint32_t>& generations,
       const std::vector<std::vector<uint32_t>>& delta_generations) const;
-  Status SaveManifest() const;
+  Status SaveManifest() const REQUIRES(refresh_mu_);
   /// Parses the manifest and opens every tree. In tolerant mode an
   /// unopenable tree is quarantined instead of failing the load.
-  Status LoadManifest(bool tolerant, ForestRecoveryReport* report);
+  Status LoadManifest(bool tolerant, ForestRecoveryReport* report)
+      REQUIRES(refresh_mu_);
   /// Takes tree `t` out of service: closes it, renames its files aside
   /// with a ".quarantine" suffix, and records the event.
   void QuarantineTree(size_t t, const Status& why,
-                      ForestRecoveryReport* report);
+                      ForestRecoveryReport* report) REQUIRES(refresh_mu_);
   /// Phase 1 of ApplyDelta: merge-pack every tree's next generation beside
   /// the current files, without touching any live state.
   Status BuildNextGenerations(
       ViewDataProvider* delta_provider, std::vector<uint32_t>* generations,
-      std::vector<std::unique_ptr<PackedRTree>>* new_trees);
+      std::vector<std::unique_ptr<PackedRTree>>* new_trees)
+      REQUIRES(refresh_mu_);
   /// Deletes files recovery identified as orphans, consulting the
   /// forest.recover.gc failpoint per file.
   void RemoveOrphan(const std::string& path, ForestRecoveryReport* report);
@@ -356,37 +372,48 @@ class CubetreeForest {
   /// Publishes the current in-memory state as the next generation: copies
   /// the tree set into a fresh EpochState, carries over file-reclamation
   /// tokens for files still live, retires tokens for files this generation
-  /// dropped, and swaps the atomic pointer. Call with refresh_mu_ held (or
-  /// during single-threaded construction).
-  void PublishState();
+  /// dropped, and swaps the atomic pointer.
+  void PublishState() REQUIRES(refresh_mu_);
+  /// Lock-held variants of the quarantine accessors, for use inside
+  /// mutators that already hold refresh_mu_.
+  size_t NumQuarantinedTreesLocked() const REQUIRES(refresh_mu_);
+  bool HasQuarantineLocked() const REQUIRES(refresh_mu_) {
+    return NumQuarantinedTreesLocked() > 0;
+  }
 
   Options options_;
   BufferPool* pool_;
   std::shared_ptr<IoStats> io_stats_;
+  // plan_, views_ and views_by_id_ are written once (Build/LoadManifest,
+  // under refresh_mu_) and immutable afterwards, so reads stay unguarded.
   ForestPlan plan_;
   std::vector<ViewDef> views_;
   std::map<uint32_t, ViewDef> views_by_id_;
-  std::vector<std::shared_ptr<Cubetree>> trees_;
-  std::vector<uint32_t> generations_;
+  std::vector<std::shared_ptr<Cubetree>> trees_ GUARDED_BY(refresh_mu_);
+  std::vector<uint32_t> generations_ GUARDED_BY(refresh_mu_);
   /// Per tree: the generation numbers of its pending delta trees.
-  std::vector<std::vector<uint32_t>> delta_generations_;
-  std::vector<uint32_t> next_delta_generation_;
+  std::vector<std::vector<uint32_t>> delta_generations_
+      GUARDED_BY(refresh_mu_);
+  std::vector<uint32_t> next_delta_generation_ GUARDED_BY(refresh_mu_);
   /// Per tree: out of service after recovery found it unreadable. A
   /// quarantined slot holds nullptr in trees_.
-  std::vector<bool> quarantined_;
+  std::vector<bool> quarantined_ GUARDED_BY(refresh_mu_);
   /// Per tree: the ".quarantine" files to delete once the tree is rebuilt.
-  std::vector<std::vector<std::string>> quarantine_files_;
+  std::vector<std::vector<std::string>> quarantine_files_
+      GUARDED_BY(refresh_mu_);
 
   /// Serializes mutators (refresh, compaction, rebuild, destroy) against
-  /// each other. Never taken by readers.
-  std::mutex refresh_mu_;
+  /// each other; snapshot readers never take it (they go through the
+  /// atomic `published_`). Lock order: refresh_mu_ before gc_->mu, never
+  /// the reverse.
+  mutable Mutex refresh_mu_;
   std::shared_ptr<forest_internal::GcShared> gc_ =
       std::make_shared<forest_internal::GcShared>();
   /// The serving generation; AcquireSnapshot loads it, PublishState swaps
   /// it. Held non-const so PublishState can flag the outgoing state
   /// retired; snapshots only ever see it const.
   std::atomic<std::shared_ptr<forest_internal::EpochState>> published_;
-  uint64_t next_epoch_ = 1;
+  uint64_t next_epoch_ GUARDED_BY(refresh_mu_) = 1;
 };
 
 }  // namespace cubetree

@@ -40,13 +40,13 @@ Status AdmissionController::ShedOrRejectLocked(uint64_t cost_hint) {
   (*cheapest)->shed = true;
   --live_queued_;
   ++stats_.shed;
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
                                                    const QueryContext* ctx) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Depth checks use live_queued_, not queue_.size(): entries already
   // admitted or shed stay in queue_ until their thread wakes to unlink
   // itself, and those zombies must not count against max_queued (or
@@ -82,7 +82,7 @@ Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
     if (ctx != nullptr && ctx->has_deadline() && ctx->deadline() < poll) {
       poll = ctx->deadline();
     }
-    cv_.wait_until(lock, poll);
+    cv_.WaitUntil(lock, poll);
   }
   leave_queue();
   if (self.shed) {
@@ -98,7 +98,7 @@ Result<AdmissionTicket> AdmissionController::Admit(uint64_t cost_hint,
 }
 
 void AdmissionController::ReleaseSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --active_;
   for (Waiter* waiter : queue_) {
     if (!waiter->admitted && !waiter->shed) {
@@ -109,21 +109,21 @@ void AdmissionController::ReleaseSlot() {
       break;
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 int AdmissionController::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
 int AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_queued_;
 }
 

@@ -1,14 +1,13 @@
 #ifndef CUBETREE_ENGINE_ADMISSION_H_
 #define CUBETREE_ENGINE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 
 #include "common/query_context.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cubetree {
 
@@ -84,12 +83,13 @@ class AdmissionController {
   /// is shed. `cost_hint` is the estimated execution cost (the engine
   /// passes its optimizer estimate); it only orders shedding, cheapest
   /// first. `ctx` may be nullptr for an uncancellable wait.
-  Result<AdmissionTicket> Admit(uint64_t cost_hint, const QueryContext* ctx);
+  Result<AdmissionTicket> Admit(uint64_t cost_hint, const QueryContext* ctx)
+      EXCLUDES(mu_);
 
-  Stats stats() const;
-  int active() const;
+  Stats stats() const EXCLUDES(mu_);
+  int active() const EXCLUDES(mu_);
   /// Effective queue depth: waiters that are neither admitted nor shed.
-  int queued() const;
+  int queued() const EXCLUDES(mu_);
 
  private:
   friend class AdmissionTicket;
@@ -101,20 +101,21 @@ class AdmissionController {
   };
 
   /// Returns a slot and hands it to the longest-waiting live waiter.
-  void ReleaseSlot();
-  Status ShedOrRejectLocked(uint64_t cost_hint);
+  void ReleaseSlot() EXCLUDES(mu_);
+  Status ShedOrRejectLocked(uint64_t cost_hint) REQUIRES(mu_);
 
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int active_ = 0;
-  std::list<Waiter*> queue_;  // FIFO for admission; shedding scans by cost.
+  mutable Mutex mu_;
+  CondVar cv_;
+  int active_ GUARDED_BY(mu_) = 0;
+  /// FIFO for admission; shedding scans by cost.
+  std::list<Waiter*> queue_ GUARDED_BY(mu_);
   /// Waiters that are neither admitted nor shed. Admitted/shed entries
   /// linger in queue_ until their thread wakes to remove them, so
   /// queue_.size() overstates pressure; all admission decisions and
   /// backlog hints use this effective depth instead.
-  int live_queued_ = 0;
-  Stats stats_;
+  int live_queued_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cubetree

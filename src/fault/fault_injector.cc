@@ -117,7 +117,8 @@ std::atomic<int>& FaultInjector::armed_count() {
 
 FaultInjector& FaultInjector::Instance() {
   static FaultInjector* instance = [] {
-    auto* injector = new FaultInjector();
+    // ct-lint: allow(no-naked-new)
+    auto* injector = new FaultInjector();  // Intentionally leaked singleton.
     if (const char* env = std::getenv("CUBETREE_FAILPOINTS");
         env != nullptr && env[0] != '\0') {
       Status status = injector->ParseAndArm(env);
@@ -148,7 +149,7 @@ Status FaultInjector::Arm(const std::string& failpoint, FaultSpec spec) {
   if (!IsRegistered(failpoint)) {
     return Status::InvalidArgument("unknown failpoint: " + failpoint);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = armed_.insert_or_assign(failpoint, Armed{spec, 0, 0});
   (void)it;
   if (inserted) armed_count().fetch_add(1, std::memory_order_relaxed);
@@ -162,14 +163,14 @@ Status FaultInjector::Arm(const std::string& failpoint,
 }
 
 void FaultInjector::Disarm(const std::string& failpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (armed_.erase(failpoint) > 0) {
     armed_count().fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_count().fetch_sub(static_cast<int>(armed_.size()),
                           std::memory_order_relaxed);
   armed_.clear();
@@ -194,7 +195,7 @@ Status FaultInjector::ParseAndArm(const std::string& config) {
 }
 
 uint64_t FaultInjector::HitCount(const std::string& failpoint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hits_.find(failpoint);
   return it == hits_.end() ? 0 : it->second;
 }
@@ -202,7 +203,7 @@ uint64_t FaultInjector::HitCount(const std::string& failpoint) const {
 FaultOutcome FaultInjector::Check(const char* failpoint) {
   FaultOutcome outcome;
   outcome.failpoint = failpoint;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++hits_[outcome.failpoint];
   auto it = armed_.find(outcome.failpoint);
   if (it == armed_.end()) return outcome;

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cubetree {
 
@@ -107,12 +107,12 @@ class FaultInjector {
   }
 
   /// Arms `failpoint` with `spec`. The name must be registered.
-  Status Arm(const std::string& failpoint, FaultSpec spec);
+  Status Arm(const std::string& failpoint, FaultSpec spec) EXCLUDES(mu_);
   /// Arms from the textual spec grammar above, e.g. Arm("wal.force",
   /// "error(2)").
   Status Arm(const std::string& failpoint, const std::string& spec);
-  void Disarm(const std::string& failpoint);
-  void DisarmAll();
+  void Disarm(const std::string& failpoint) EXCLUDES(mu_);
+  void DisarmAll() EXCLUDES(mu_);
 
   /// Parses and arms a full CUBETREE_FAILPOINTS-style config string
   /// ("name=spec;name=spec", ',' also accepted as a separator).
@@ -122,13 +122,13 @@ class FaultInjector {
   /// to apply now. kCrash exits the process; kThrow throws SimulatedCrash;
   /// kError/kTorn are reported through the outcome for the caller to
   /// translate (torn writes need storage-layer cooperation).
-  FaultOutcome Check(const char* failpoint);
+  FaultOutcome Check(const char* failpoint) EXCLUDES(mu_);
 
   /// Check() collapsed to a Status for call sites with nothing to tear.
   Status MaybeFail(const char* failpoint) { return Check(failpoint).ToStatus(); }
 
   /// Times `failpoint` was consulted while any failpoint was armed.
-  uint64_t HitCount(const std::string& failpoint) const;
+  uint64_t HitCount(const std::string& failpoint) const EXCLUDES(mu_);
 
   struct PointInfo {
     const char* name;
@@ -152,9 +152,9 @@ class FaultInjector {
     uint32_t triggered = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Armed> armed_;
-  std::map<std::string, uint64_t> hits_;
+  mutable Mutex mu_;
+  std::map<std::string, Armed> armed_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> hits_ GUARDED_BY(mu_);
 };
 
 /// Consults a failpoint and propagates an injected error to the caller.

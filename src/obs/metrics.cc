@@ -73,40 +73,42 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Instance() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  // ct-lint: allow(no-naked-new)
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // Intentionally leaked singleton.
   return *registry;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 JsonValue MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::MakeObject();
   JsonValue& counters = root.Set("counters", JsonValue::MakeObject());
   for (const auto& [name, c] : counters_) {
@@ -135,7 +137,7 @@ std::string MetricsRegistry::DumpJson(int indent) const {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[256];
   for (const auto& [name, c] : counters_) {

@@ -6,9 +6,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace cubetree {
@@ -93,17 +93,17 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Instance();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   /// Zeroes every registered metric (names stay registered). Benches use
   /// this to isolate per-phase deltas; tests use it for a clean slate.
-  void ResetAll();
+  void ResetAll() EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {count,sum,max,mean,p50,p95,p99}}}.
-  JsonValue SnapshotJson() const;
+  JsonValue SnapshotJson() const EXCLUDES(mu_);
   std::string DumpJson(int indent = 2) const;
   /// One metric per line, for --stats terminal output.
   std::string DumpText() const;
@@ -111,10 +111,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards registration and snapshots only — recording through the
+  /// returned Counter/Gauge/Histogram pointers is lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -287,7 +287,8 @@ void TraceScope::Annotate(const char* key, uint64_t value) {
 
 Tracer& Tracer::Instance() {
   static Tracer* tracer = [] {
-    Tracer* t = new Tracer(kDefaultCapacity);
+    // ct-lint: allow(no-naked-new)
+    Tracer* t = new Tracer(kDefaultCapacity);  // Intentionally leaked singleton.
     const char* enable = std::getenv("CUBETREE_TRACE");
     if (enable != nullptr && std::strcmp(enable, "0") != 0 &&
         enable[0] != '\0') {
@@ -311,18 +312,18 @@ Tracer::Tracer(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
 
 void Tracer::Publish(std::shared_ptr<const Trace> trace) {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   slots_[next_slot_++ % capacity_] = std::move(trace);
 }
 
 std::shared_ptr<const Trace> Tracer::LastTrace() const {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   if (next_slot_ == 0) return nullptr;
   return slots_[(next_slot_ - 1) % capacity_];
 }
 
 std::vector<std::shared_ptr<const Trace>> Tracer::AllTraces() const {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   const uint64_t count = next_slot_ < capacity_ ? next_slot_ : capacity_;
   std::vector<std::shared_ptr<const Trace>> out;
   out.reserve(count);
@@ -336,7 +337,7 @@ std::vector<std::shared_ptr<const Trace>> Tracer::AllTraces() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   for (auto& slot : slots_) slot = nullptr;
   next_slot_ = 0;
 }
@@ -358,7 +359,7 @@ JsonValue Tracer::ChromeTraceJson(
 
 void Tracer::SetSlowTraceSinkForTest(
     std::function<void(const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  MutexLock lock(sink_mu_);
   sink_ = std::move(sink);
 }
 
@@ -399,7 +400,7 @@ void Tracer::MaybeLogSlowTrace(const Trace& trace) {
 
   std::function<void(const std::string&)> sink;
   {
-    std::lock_guard<std::mutex> lock(sink_mu_);
+    MutexLock lock(sink_mu_);
     sink = sink_;
   }
   if (sink) {

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 #include "storage/io_stats.h"
 
@@ -199,15 +199,16 @@ class Tracer {
   /// Inserts a completed trace, evicting the oldest resident once the ring
   /// is full. Safe from any thread; the mutex is held only for the slot
   /// assignment.
-  void Publish(std::shared_ptr<const Trace> trace);
+  void Publish(std::shared_ptr<const Trace> trace) EXCLUDES(ring_mu_);
 
   /// The most recently published trace; nullptr when empty.
-  std::shared_ptr<const Trace> LastTrace() const;
+  std::shared_ptr<const Trace> LastTrace() const EXCLUDES(ring_mu_);
 
   /// Every resident trace, oldest first.
-  std::vector<std::shared_ptr<const Trace>> AllTraces() const;
+  std::vector<std::shared_ptr<const Trace>> AllTraces() const
+      EXCLUDES(ring_mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(ring_mu_);
   size_t capacity() const { return capacity_; }
 
   /// {"displayTimeUnit": "ms", "traceEvents": [...]} over `traces` —
@@ -243,16 +244,17 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{0};
   const size_t capacity_;
-  mutable std::mutex ring_mu_;
-  uint64_t next_slot_ = 0;  // Guarded by ring_mu_.
-  std::vector<std::shared_ptr<const Trace>> slots_;  // Guarded by ring_mu_.
+  mutable Mutex ring_mu_;
+  uint64_t next_slot_ GUARDED_BY(ring_mu_) = 0;
+  std::vector<std::shared_ptr<const Trace>> slots_ GUARDED_BY(ring_mu_);
 
   std::atomic<int64_t> slow_threshold_us_{-1};
   std::atomic<int64_t> slow_interval_us_{1000 * 1000};  // 1s default.
   std::atomic<uint64_t> slow_last_emit_us_{0};
   std::atomic<uint64_t> slow_suppressed_{0};
-  std::mutex sink_mu_;
-  std::function<void(const std::string&)> sink_;  // Empty = stderr.
+  Mutex sink_mu_;
+  std::function<void(const std::string&)> sink_
+      GUARDED_BY(sink_mu_);  // Empty = stderr.
 };
 
 /// Storage-layer attribution hooks: one thread-local load and a branch

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -152,7 +153,13 @@ ExternalSorter::ExternalSorter(Options options, RecordComparator less)
 ExternalSorter::~ExternalSorter() {
   runs_.clear();
   for (const std::string& path : run_paths_) {
-    (void)RemoveFileIfExists(path);
+    // Cannot propagate from a destructor, but a leaked run file should not
+    // vanish silently: temp-dir growth is an operator-visible problem.
+    Status removed = RemoveFileIfExists(path);
+    if (!removed.ok()) {
+      CT_LOG(Warn) << "external sorter: leaked run file: "
+                   << removed.ToString();
+    }
   }
 }
 

@@ -68,27 +68,32 @@ BufferPool::BufferPool(size_t capacity_pages, MemoryBudget* memory_budget)
 }
 
 BufferPool::~BufferPool() {
-  // A frame still pinned here means a PageHandle outlived the pool: its
-  // page pointer is about to dangle. Surface the leak instead of silently
-  // tearing down.
-  const size_t pinned = PinnedPagesLocked();  // Destructor: no other threads.
-  if (pinned > 0) {
-    for (const Frame& f : frames_) {
-      if (f.pin_count > 0) {
-        CT_LOG(Error) << "buffer pool: page " << f.page_id << " of "
-                      << (f.file != nullptr ? f.file->path() : "<none>")
-                      << " still pinned " << f.pin_count
-                      << " time(s) at pool shutdown";
+  uint64_t charged = 0;
+  {
+    MutexLock lock(mu_);
+    // A frame still pinned here means a PageHandle outlived the pool: its
+    // page pointer is about to dangle. Surface the leak instead of
+    // silently tearing down.
+    const size_t pinned = PinnedPagesLocked();
+    if (pinned > 0) {
+      for (const Frame& f : frames_) {
+        if (f.pin_count > 0) {
+          CT_LOG(Error) << "buffer pool: page " << f.page_id << " of "
+                        << (f.file != nullptr ? f.file->path() : "<none>")
+                        << " still pinned " << f.pin_count
+                        << " time(s) at pool shutdown";
+        }
       }
+      CT_DCHECK(pinned == 0)
+          << pinned << " frame(s) still pinned at BufferPool shutdown";
     }
-    CT_DCHECK(pinned == 0)
-        << pinned << " frame(s) still pinned at BufferPool shutdown";
+    charged = charged_bytes_;
   }
   // Best effort: write back whatever is dirty. Errors here cannot be
   // reported; production callers should FlushAll() explicitly.
   (void)FlushAll();
-  if (memory_budget_ != nullptr && charged_bytes_ > 0) {
-    memory_budget_->Release(charged_bytes_);
+  if (memory_budget_ != nullptr && charged > 0) {
+    memory_budget_->Release(charged);
   }
 }
 
@@ -101,12 +106,12 @@ size_t BufferPool::PinnedPagesLocked() const {
 }
 
 size_t BufferPool::PinnedPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return PinnedPagesLocked();
 }
 
 void BufferPool::Unpin(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Frame& f = frames_[frame_index];
   CT_ASSERT(f.pin_count > 0) << "unpin of page " << f.page_id
                              << " with zero pin count";
@@ -119,7 +124,7 @@ void BufferPool::Unpin(size_t frame_index) {
 }
 
 void BufferPool::MarkFrameDirty(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   frames_[frame_index].dirty = true;
 }
 
@@ -182,7 +187,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
   if (const QueryContext* ctx = QueryContext::Current()) {
     CT_RETURN_NOT_OK(ctx->Check());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find({file, id});
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -215,7 +220,7 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
 }
 
 Result<PageHandle> BufferPool::New(PageManager* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CT_ASSIGN_OR_RETURN(PageId id, file->AllocatePage());
   CT_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
   Frame& f = frames_[idx];
@@ -229,7 +234,7 @@ Result<PageHandle> BufferPool::New(PageManager* file) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Frame& f : frames_) {
     if (f.file != nullptr && f.dirty) {
       CT_RETURN_NOT_OK(f.file->WritePage(f.page_id, *f.page));
@@ -241,7 +246,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::DropFile(PageManager* file, bool write_back) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.file == file) {

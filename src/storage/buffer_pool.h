@@ -5,12 +5,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/page_manager.h"
 
@@ -88,28 +88,33 @@ class BufferPool {
 
   /// Returns a pinned handle on page (file, id), reading it from disk on a
   /// miss. Fails with ResourceExhausted if every frame is pinned.
-  Result<PageHandle> Fetch(PageManager* file, PageId id);
+  Result<PageHandle> Fetch(PageManager* file, PageId id) EXCLUDES(mu_);
 
   /// Allocates a fresh zeroed page in `file` and returns it pinned and
   /// dirty.
-  Result<PageHandle> New(PageManager* file);
+  Result<PageHandle> New(PageManager* file) EXCLUDES(mu_);
 
   /// Writes back all dirty pages (keeps them cached).
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_);
 
   /// Writes back and evicts every cached page of `file`. Must be called
   /// before closing or replacing a file that went through the pool.
-  Status DropFile(PageManager* file, bool write_back = true);
+  Status DropFile(PageManager* file, bool write_back = true) EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   /// Number of frames currently pinned by live PageHandles. Nonzero at
   /// shutdown means a handle leaked (the destructor logs and, under
   /// CT_DCHECK, aborts); the invariant checker reports it as a finding.
-  size_t PinnedPages() const;
+  size_t PinnedPages() const EXCLUDES(mu_);
   /// Counter reads are safe only once concurrent pool activity has
-  /// quiesced (how every bench and checker uses them).
-  const BufferPoolStats& stats() const { return stats_; }
-  BufferPoolStats* mutable_stats() { return &stats_; }
+  /// quiesced (how every bench and checker uses them) — hence the analysis
+  /// opt-out rather than a lock acquisition.
+  const BufferPoolStats& stats() const NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
+  BufferPoolStats* mutable_stats() NO_THREAD_SAFETY_ANALYSIS {
+    return &stats_;
+  }
 
  private:
   friend class PageHandle;
@@ -127,23 +132,24 @@ class BufferPool {
 
   using Key = std::pair<const PageManager*, PageId>;
 
-  void Unpin(size_t frame_index);
-  void MarkFrameDirty(size_t frame_index);
+  void Unpin(size_t frame_index) EXCLUDES(mu_);
+  void MarkFrameDirty(size_t frame_index) EXCLUDES(mu_);
   // The private helpers below expect mu_ held by the caller.
-  size_t PinnedPagesLocked() const;
+  size_t PinnedPagesLocked() const REQUIRES(mu_);
   /// Finds a frame to (re)use, evicting the LRU unpinned page if needed.
-  Result<size_t> GrabFrame();
-  Status EvictFrame(size_t frame_index, bool write_back);
+  Result<size_t> GrabFrame() REQUIRES(mu_);
+  Status EvictFrame(size_t frame_index, bool write_back) REQUIRES(mu_);
 
   size_t capacity_;
   MemoryBudget* memory_budget_;
-  uint64_t charged_bytes_ = 0;
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::map<Key, size_t> page_table_;
-  std::list<size_t> lru_;  // Front = most recent, back = eviction victim.
-  BufferPoolStats stats_;
+  uint64_t charged_bytes_ GUARDED_BY(mu_) = 0;
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ GUARDED_BY(mu_);
+  std::map<Key, size_t> page_table_ GUARDED_BY(mu_);
+  /// Front = most recent, back = eviction victim.
+  std::list<size_t> lru_ GUARDED_BY(mu_);
+  BufferPoolStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cubetree

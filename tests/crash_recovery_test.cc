@@ -163,7 +163,8 @@ struct Snapshots {
 
 const Snapshots& ReferenceSnapshots() {
   static const Snapshots* snapshots = [] {
-    auto* s = new Snapshots();
+    // ct-lint: allow(no-naked-new)
+    auto* s = new Snapshots();  // Intentionally leaked static snapshot.
     const std::string dir = MakeTestDir("crash_reference");
     BuildBaseForest(dir);
     BufferPool pool(256);

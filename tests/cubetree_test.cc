@@ -504,6 +504,15 @@ TEST_F(ForestTest, PartialDeltasAnswerLikeMergedDeltas) {
   }
 }
 
+// Regression: Compact() used to read trees_ before taking the refresh
+// lock. The unlocked pre-check is gone; the not-built error must still
+// surface through ApplyDelta's locked check.
+TEST_F(ForestTest, CompactBeforeBuildFails) {
+  ASSERT_OK_AND_ASSIGN(auto forest, MakeForest());
+  Status status = forest->Compact();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
 TEST_F(ForestTest, PartialDeltasSurviveReopen) {
   std::vector<ViewDef> views = {MakeView(1, {0})};
   CubetreeForest::Options options;

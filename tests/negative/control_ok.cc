@@ -1,0 +1,34 @@
+// Positive control for the negative-compilation tests: the disciplined
+// versions of both patterns compile cleanly under the exact flags the
+// failing cases use. If this control breaks, the failing cases are
+// failing for the wrong reason (bad include path, flag typo, ...).
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace cubetree {
+
+Status MightFail() { return Status::OK(); }
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Counter c;
+  c.Increment();
+  Status status = MightFail();
+  if (!status.ok()) {
+    (void)status;
+  }
+}
+
+}  // namespace cubetree

@@ -1,0 +1,15 @@
+// Negative-compilation test: silently dropping a Status must fail under
+// -Werror=unused-result (Status is class-level [[nodiscard]]). Compiled
+// by the `negative_dropped_status` ctest; never linked into any binary.
+
+#include "common/status.h"
+
+namespace cubetree {
+
+Status MightFail() { return Status::OK(); }
+
+void Caller() {
+  MightFail();  // BAD: nodiscard Status silently dropped.
+}
+
+}  // namespace cubetree

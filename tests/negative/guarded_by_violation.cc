@@ -1,0 +1,32 @@
+// Negative-compilation test: touching a GUARDED_BY field without holding
+// its mutex must fail the clang thread-safety analysis. Compiled by the
+// `negative_guarded_by` ctest with -Werror=thread-safety; never linked
+// into any binary.
+
+#include "common/thread_annotations.h"
+
+namespace cubetree {
+
+class Counter {
+ public:
+  void IncrementLocked() {
+    MutexLock lock(mu_);
+    ++value_;  // Correct: lock held. Keeps the class itself plausible.
+  }
+
+  void IncrementRacy() {
+    ++value_;  // BAD: writing value_ requires holding mu_.
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Counter c;
+  c.IncrementLocked();
+  c.IncrementRacy();
+}
+
+}  // namespace cubetree

@@ -1,0 +1,40 @@
+# Driver for negative-compilation tests: compiles SRC with -fsyntax-only
+# and asserts the outcome.
+#
+#   cmake -DCOMPILER=<cxx> -DSRC=<file> -DINCLUDE_DIR=<dir>
+#         -DEXTRA_FLAGS="<flags>" -DEXPECT=<substring|SUCCESS>
+#         -P negative_compile.cmake
+#
+# EXPECT=SUCCESS demands a clean compile (the positive control, proving
+# the flags and include paths are right, so the failing cases fail for
+# the intended reason). Any other EXPECT value demands a *failed*
+# compile whose diagnostics contain that substring.
+
+separate_arguments(flag_list UNIX_COMMAND "${EXTRA_FLAGS}")
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -I${INCLUDE_DIR}
+          ${flag_list} ${SRC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+set(diagnostics "${out}${err}")
+
+if(EXPECT STREQUAL "SUCCESS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to compile cleanly, got exit ${rc}:\n"
+            "${diagnostics}")
+  endif()
+else()
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to FAIL to compile, but it succeeded — the "
+            "machine check it exercises is not firing")
+  endif()
+  string(FIND "${diagnostics}" "${EXPECT}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "${SRC} failed to compile, but not with the expected "
+            "diagnostic '${EXPECT}':\n${diagnostics}")
+  endif()
+endif()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #include "common/coding.h"
@@ -140,6 +141,31 @@ TEST(ExternalSorterTest, SpillsAndMergesRuns) {
   ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
   std::sort(values.begin(), values.end());
   EXPECT_EQ(DrainU32(stream.get()), values);
+}
+
+// Regression for the sorter teardown path: spilled run files must be
+// removed when the sorter dies, including when it dies *without* Finish()
+// (an abandoned sort — e.g. its refresh failed partway). The destructor
+// used to drop the removal Status blind; it now logs, and this pins the
+// success path: nothing left behind in the temp dir.
+TEST(ExternalSorterTest, DestructorRemovesSpilledRunFiles) {
+  const std::string dir = MakeTestDir("sort_dtor_cleanup");
+  {
+    ExternalSorter sorter(SmallSorterOptions(dir, 4, 400), U32Less());
+    Rng rng(11);
+    char buf[4];
+    for (int i = 0; i < 2000; ++i) {
+      EncodeFixed32(buf, static_cast<uint32_t>(rng.Uniform(1u << 30)));
+      ASSERT_OK(sorter.Add(buf));
+    }
+    ASSERT_GT(sorter.num_runs(), 0u);  // The abandoned sort did spill.
+  }
+  size_t leftover = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++leftover;
+    ADD_FAILURE() << "leaked run file: " << entry.path();
+  }
+  EXPECT_EQ(leftover, 0u);
 }
 
 TEST(ExternalSorterTest, DuplicateKeysSurvive) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "common/result.h"
@@ -47,9 +48,12 @@ inline std::string MakeTestDir(const std::string& name) {
     }
     dir += suffix;
   }
-  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
-  if (std::system(cmd.c_str()) != 0) {
-    ADD_FAILURE() << "failed to create test dir " << dir;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    ADD_FAILURE() << "failed to create test dir " << dir << ": "
+                  << ec.message();
   }
   return dir;
 }
