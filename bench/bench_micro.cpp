@@ -19,6 +19,7 @@
 #include "rtree/packed_rtree.h"
 #include "sort/external_sorter.h"
 #include "storage/buffer_pool.h"
+#include "storage/checksum.h"
 
 namespace cubetree {
 namespace {
@@ -104,6 +105,63 @@ void BM_PackedRTreeSearch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PackedRTreeSearch);
+
+// Verify-on-read overhead: the same slice workload through a pool far
+// smaller than the tree, so every search performs physical reads. Arg 1
+// searches the tree as built (every page CRC-verified on read); Arg 0
+// searches a copy whose .crc sidecar was removed (the pre-checksum open
+// path — reads unverified). The wall-clock ratio is the checksum cost;
+// the integrity design budgets ≤3% (DESIGN.md §13).
+void BM_PackedRTreeSearchColdRead(benchmark::State& state) {
+  MakeBenchDir(kDir);
+  const bool verify = state.range(0) != 0;
+  const uint32_t n = 200000;
+  auto points = MakeSortedPoints(n);
+  BufferPool pool(8);
+  RTreeOptions options;
+  options.dims = 3;
+  const std::string verified_path = std::string(kDir) + "/cold.ctr";
+  {
+    VectorPointSource source(points);
+    auto built = PackedRTree::Build(verified_path, options, &pool, &source,
+                                    [](uint32_t) { return 3; });
+    if (!built.ok()) {
+      state.SkipWithError("build failed");
+      return;
+    }
+  }
+  std::string path = verified_path;
+  if (!verify) {
+    path = std::string(kDir) + "/cold_nocrc.ctr";
+    std::error_code ec;
+    std::filesystem::copy_file(
+        verified_path, path, std::filesystem::copy_options::overwrite_existing,
+        ec);
+    if (ec || !RemoveChecksumSidecar(path).ok()) {
+      state.SkipWithError("copy failed");
+      return;
+    }
+  }
+  auto opened = PackedRTree::Open(path, &pool);
+  if (!opened.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  auto tree = std::move(opened).value();
+  Rng rng(5);
+  uint64_t found = 0;
+  for (auto _ : state) {
+    Rect query = Rect::Full(3);
+    const Coord z = 1 + static_cast<Coord>(rng.Uniform(n));
+    query.lo[2] = z;
+    query.hi[2] = z + 2000;
+    Status st = tree->Search(query, [&](const PointRecord&) { ++found; });
+    if (!st.ok()) state.SkipWithError("search failed");
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedRTreeSearchColdRead)->Arg(1)->Arg(0);
 
 void BM_MergePack(benchmark::State& state) {
   MakeBenchDir(kDir);

@@ -53,6 +53,10 @@ void PrintHelp(std::FILE* out) {
       "  --deep            read every page: MBR containment, pack order,\n"
       "                    fill factors, compression round-trips, CRCs\n"
       "                    (default: metadata-level checks only)\n"
+      "  --checksums       verify every page of each tree file against its\n"
+      "                    .crc sidecar. Findings: checksum-mismatch /\n"
+      "                    checksum-sidecar / checksum-count (errors,\n"
+      "                    exit 1), checksum-missing (warning, exit 2)\n"
       "  --json            emit the report as JSON on stdout\n"
       "  --stats           dump the process metrics registry (buffer pool\n"
       "                    hits, pages touched, ...) to stderr on exit\n"
@@ -72,6 +76,7 @@ void PrintHelp(std::FILE* out) {
 
 struct CliOptions {
   bool deep = false;
+  bool checksums = false;
   bool json = false;
   bool stats = false;
   size_t pool_pages = 1024;
@@ -113,7 +118,7 @@ int ListFailpoints() {
       "Registered fault-injection points (arm via CUBETREE_FAILPOINTS):\n"
       "\n"
       "  CUBETREE_FAILPOINTS='name=ACTION[(MAX)][@HIT][;name=...]'\n"
-      "  ACTION: error | torn | crash | throw\n"
+      "  ACTION: error | torn | crash | throw | bitflip | corrupt_page\n"
       "  @HIT:   trigger on the Nth hit of the point (default 1)\n"
       "  (MAX):  stay armed for MAX triggers (default: unlimited)\n"
       "\n");
@@ -173,6 +178,7 @@ int SelfDemo(const CliOptions& cli) {
   forest.reset();
   CheckOptions check_options;
   check_options.deep = true;  // The demo always shows the deep checks.
+  check_options.checksums = true;
   ForestChecker checker("ctfsck_demo", "demo", &pool, check_options);
   return RunChecker(&checker, cli);
 }
@@ -193,6 +199,8 @@ int main(int argc, char** argv) {
       return ListFailpoints();
     } else if (arg == "--deep") {
       cli.deep = true;
+    } else if (arg == "--checksums") {
+      cli.checksums = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--stats") {
@@ -219,6 +227,7 @@ int main(int argc, char** argv) {
 
   CheckOptions check_options;
   check_options.deep = cli.deep;
+  check_options.checksums = cli.checksums;
 
   if (args.empty()) return SelfDemo(cli);
 

@@ -34,6 +34,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "engine/warehouse.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scrub/scrubber.h"
 #include "storage/page_manager.h"
 
 using namespace cubetree;
@@ -262,6 +264,18 @@ int main(int argc, char** argv) {
               warehouse->cubetrees()->StorageBytes() / 1048576.0,
               static_cast<unsigned long long>(
                   warehouse->cubetrees()->forest()->TotalPoints()));
+
+  // CUBETREE_SCRUB_ENABLE=1 turns on the background integrity scrubber:
+  // it re-reads every page of the live generation between refreshes
+  // (throttled by CUBETREE_SCRUB_RATE, paced by CUBETREE_SCRUB_INTERVAL_MS)
+  // and repairs anything it quarantines from the sort-order replicas.
+  CubetreeEngine* engine = warehouse->cubetrees();
+  std::unique_ptr<Scrubber> scrubber = Scrubber::CreateFromEnv(
+      engine->forest(), [engine] { return engine->RepairFromReplicas(); });
+  if (scrubber != nullptr) {
+    scrubber->Start();
+    std::printf("  background scrubber running (CUBETREE_SCRUB_*)\n");
+  }
 
   if (online) {
     const int rc = OnlineWeek(warehouse.get());

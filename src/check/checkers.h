@@ -16,6 +16,14 @@ struct CheckOptions {
   /// compression round-trips, CRC verification. Shallow mode stops at
   /// metadata-level consistency.
   bool deep = true;
+  /// Verify every page of each data file against its `.crc` checksum
+  /// sidecar (independently of deep mode's structural checks). Findings:
+  ///   checksum-missing   (warning) — no sidecar; pre-checksum file, reads
+  ///                      are unverified at runtime too
+  ///   checksum-sidecar   (error)   — sidecar present but itself invalid
+  ///   checksum-count     (error)   — sidecar entry count != file pages
+  ///   checksum-mismatch  (error)   — page bytes do not match stored CRC
+  bool checksums = false;
 };
 
 /// Deep-validates one packed R-tree (.ctr) file:

@@ -199,7 +199,9 @@ Status ForestChecker::Run(CheckReport* report) {
   }
 
   // --- Deep per-file validation -----------------------------------------
-  if (impl_->options.deep) {
+  // --checksums alone also walks every tree file: RTreeChecker performs
+  // the sidecar verification (its structural depth still honors `deep`).
+  if (impl_->options.deep || impl_->options.checksums) {
     auto arity_of = [&forest](uint32_t view_id) -> uint8_t {
       auto view = forest->view(view_id);
       return view.ok() ? (*view)->arity() : 0;

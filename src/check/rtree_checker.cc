@@ -5,9 +5,11 @@
 
 #include "check/checkers.h"
 #include "common/coding.h"
+#include "common/crc32.h"
 #include "rtree/geometry.h"
 #include "rtree/node.h"
 #include "rtree/packed_rtree.h"
+#include "storage/checksum.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -42,6 +44,7 @@ struct RTreeChecker::Impl {
   CheckReport* report = nullptr;
 
   void CheckMeta(const Page& page);
+  void CheckChecksums();
   void CheckPageRoles();
   /// Recursive containment/reachability walk; fills `visited` and returns
   /// the subtree's actual bounding box in *bounds (false if unreadable).
@@ -112,6 +115,45 @@ void RTreeChecker::Impl::CheckMeta(const Page& page) {
   }
   if (meta.height == 0) {
     Error("meta-height", "nonempty tree with height 0");
+  }
+}
+
+void RTreeChecker::Impl::CheckChecksums() {
+  // Verify the `.crc` sidecar independently of the PageManager's own
+  // verify-on-read (which is deliberately not armed here), so every bad
+  // page becomes one finding instead of aborting the structural walk.
+  std::vector<uint32_t> table;
+  if (Status loaded = LoadChecksumSidecar(path, &table); !loaded.ok()) {
+    if (loaded.IsNotFound()) {
+      Warning("checksum-missing",
+              "no checksum sidecar (" + ChecksumSidecarPath(path) +
+                  "): pages are unverifiable, runtime reads go unchecked");
+    } else {
+      Error("checksum-sidecar",
+            "checksum sidecar invalid: " + loaded.ToString());
+    }
+    return;
+  }
+  if (table.size() != file->NumPages()) {
+    Error("checksum-count",
+          "sidecar covers " + std::to_string(table.size()) +
+              " pages, file has " + std::to_string(file->NumPages()));
+    return;
+  }
+  Page page;
+  for (PageId id = 0; id < file->NumPages(); ++id) {
+    if (!file->ReadPage(id, &page).ok()) {
+      Error("unreadable-page", "cannot read page while verifying checksums",
+            PageContext(path, id));
+      return;
+    }
+    const uint32_t computed = Crc32c(page.data, kPageSize);
+    if (computed != table[id]) {
+      Error("checksum-mismatch",
+            "stored CRC " + std::to_string(table[id]) + " != computed " +
+                std::to_string(computed),
+            PageContext(path, id));
+    }
   }
 }
 
@@ -361,6 +403,7 @@ Status RTreeChecker::Run(CheckReport* report) {
     ctx.Error("meta-missing", "file has no pages");
     return Status::OK();
   }
+  if (ctx.options.checksums) ctx.CheckChecksums();
   Page meta_page;
   CT_RETURN_NOT_OK(file->ReadPage(0, &meta_page));
   if (DecodeFixed32(meta_page.data) != kRTreeMagic) {

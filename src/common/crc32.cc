@@ -1,39 +1,104 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#define CUBETREE_CRC32C_X86 1
+#endif
 
 namespace cubetree {
 
 namespace {
 
-// Table-driven byte-at-a-time CRC-32C. The table is built at compile time
-// from the reflected polynomial; good for a few hundred MB/s, which is far
-// above what the page-sized inputs here need.
+// Slice-by-8 software CRC-32C. With verify-on-read checksumming every
+// physical page read this sits on the storage hot path, so the classic
+// byte-at-a-time loop (a few hundred MB/s) is not enough: eight parallel
+// table lookups per 8-byte word break the serial dependency chain and run
+// several times faster. The SSE4.2 CRC32 instruction (detected at runtime
+// below) is faster still and is used whenever the CPU has it.
 constexpr uint32_t kCrc32cPoly = 0x82F63B78u;
 
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+using Crc32cTables = std::array<std::array<uint32_t, 256>, 8>;
+
+constexpr Crc32cTables MakeTables() {
+  Crc32cTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (size_t t = 1; t < 8; ++t) {
+      crc = tables[0][crc & 0xFF] ^ (crc >> 8);
+      tables[t][i] = crc;
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+constexpr Crc32cTables kTables = MakeTables();
+
+uint32_t Crc32cSoftware(const unsigned char* p, size_t n, uint32_t crc) {
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = kTables[7][word & 0xFF] ^ kTables[6][(word >> 8) & 0xFF] ^
+          kTables[5][(word >> 16) & 0xFF] ^ kTables[4][(word >> 24) & 0xFF] ^
+          kTables[3][(word >> 32) & 0xFF] ^ kTables[2][(word >> 40) & 0xFF] ^
+          kTables[1][(word >> 48) & 0xFF] ^ kTables[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#ifdef CUBETREE_CRC32C_X86
+
+bool CpuHasSse42() {
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const unsigned char* p, size_t n, uint32_t crc) {
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+#endif  // CUBETREE_CRC32C_X86
 
 }  // namespace
 
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return ~crc;
+  const uint32_t crc = ~seed;
+#ifdef CUBETREE_CRC32C_X86
+  static const bool use_hardware = CpuHasSse42();
+  if (use_hardware) return ~Crc32cHardware(p, n, crc);
+#endif
+  return ~Crc32cSoftware(p, n, crc);
 }
 
 }  // namespace cubetree

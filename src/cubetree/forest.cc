@@ -24,6 +24,7 @@
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/checksum.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -86,6 +87,32 @@ bool SetAsideQuarantined(const std::string& path, std::string* aside) {
   return true;
 }
 
+/// Sets aside `path` and its checksum sidecar, recording the aside names
+/// for the post-rebuild cleanup. The sidecar follows its data file so a
+/// rebuilt generation never pairs with stale checksums.
+void SetAsideWithSidecar(const std::string& path,
+                         std::vector<std::string>* aside_files) {
+  std::string aside;
+  if (FileExists(path) && SetAsideQuarantined(path, &aside)) {
+    aside_files->push_back(aside);
+  }
+  const std::string sidecar = ChecksumSidecarPath(path);
+  if (FileExists(sidecar) && SetAsideQuarantined(sidecar, &aside)) {
+    aside_files->push_back(aside);
+  }
+}
+
+/// Best-effort removal of a tree file plus its checksum sidecar on refresh
+/// abort paths; failures only leave orphans for recovery's sweep.
+void RemoveTreeFileBestEffort(const std::string& path, const char* what) {
+  for (const std::string& p : {path, ChecksumSidecarPath(path)}) {
+    Status removed = RemoveFileIfExists(p);
+    if (!removed.ok()) {
+      CT_LOG(Warn) << "forest: " << what << ": " << removed.ToString();
+    }
+  }
+}
+
 }  // namespace
 
 namespace forest_internal {
@@ -139,6 +166,13 @@ TrackedFile::~TrackedFile() {
     CT_LOG(Warn) << "forest: refresh GC: unlink " << path_ << ": "
                  << std::strerror(errno);
     return;
+  }
+  // The checksum sidecar shadows its data file through reclamation. A
+  // failure only leaves an orphan for recovery's sweep.
+  const std::string sidecar = ChecksumSidecarPath(path_);
+  if (::unlink(sidecar.c_str()) != 0 && errno != ENOENT) {
+    CT_LOG(Warn) << "forest: refresh GC: unlink " << sidecar << ": "
+                 << std::strerror(errno);
   }
   {
     MutexLock lock(gc_->mu);
@@ -229,7 +263,12 @@ std::string CubetreeForest::SerializeManifest(
     const std::vector<uint32_t>& generations,
     const std::vector<std::vector<uint32_t>>& delta_generations) const {
   std::ostringstream out;
-  out << "cubetree-forest-manifest v1\n";
+  // v2 adds the `checksums` line: every tree file this manifest names was
+  // built with a checksum sidecar, and the loader refuses to serve a tree
+  // whose sidecar is missing or invalid. v1 manifests (no line) stay
+  // loadable with verification off, for files built before checksums.
+  out << "cubetree-forest-manifest v2\n";
+  out << "checksums 1\n";
   out << "views " << views_.size() << "\n";
   for (const ViewDef& v : views_) {
     out << "view " << v.id << " " << static_cast<int>(v.arity());
@@ -316,11 +355,22 @@ Status CubetreeForest::LoadManifest(bool tolerant,
     return Status::NotFound("no forest manifest at " + ManifestPath());
   }
   std::string line;
-  if (!std::getline(in, line) || line != "cubetree-forest-manifest v1") {
+  if (!std::getline(in, line)) {
+    return Status::Corruption("bad forest manifest header");
+  }
+  bool expect_checksums = false;
+  if (line == "cubetree-forest-manifest v2") {
+    expect_checksums = true;
+  } else if (line != "cubetree-forest-manifest v1") {
     return Status::Corruption("bad forest manifest header");
   }
   auto malformed = [] { return Status::Corruption("malformed manifest"); };
   std::string word;
+  if (expect_checksums) {
+    int flag = 0;
+    if (!(in >> word >> flag) || word != "checksums") return malformed();
+    expect_checksums = flag != 0;
+  }
   size_t num_views = 0;
   if (!(in >> word >> num_views) || word != "views") return malformed();
   for (size_t i = 0; i < num_views; ++i) {
@@ -363,16 +413,25 @@ Status CubetreeForest::LoadManifest(bool tolerant,
     }
     plan_.trees.push_back(std::move(spec));
     generations_.push_back(generation);
-    auto rtree = PackedRTree::Open(TreePath(t, generation), pool_, io_stats_);
-    if (rtree.ok()) {
+    const std::string tree_path = TreePath(t, generation);
+    auto rtree = PackedRTree::Open(tree_path, pool_, io_stats_);
+    Status opened = rtree.status();
+    if (opened.ok() && expect_checksums &&
+        !rtree.value()->checksums_enabled()) {
+      // A v2 manifest promises a sidecar for every file it names; a
+      // missing one means the file set was tampered with or torn.
+      opened = Status::Corruption("missing checksum sidecar for " +
+                                  ChecksumSidecarPath(tree_path));
+    }
+    if (opened.ok()) {
       trees_.push_back(std::make_shared<Cubetree>(std::move(tree_views),
                                                   std::move(rtree).value()));
       main_failures.push_back(Status::OK());
     } else if (tolerant) {
       trees_.push_back(nullptr);
-      main_failures.push_back(rtree.status());
+      main_failures.push_back(opened);
     } else {
-      return rtree.status();
+      return opened;
     }
   }
   delta_generations_.assign(num_trees, {});
@@ -393,33 +452,32 @@ Status CubetreeForest::LoadManifest(bool tolerant,
         std::max(next_delta_generation_[tree_index], generation + 1);
     if (quarantined_[tree_index]) {
       // The tree is already out of service; set its delta file aside too.
-      const std::string path = DeltaPath(tree_index, generation);
-      std::string aside;
-      if (FileExists(path) && SetAsideQuarantined(path, &aside)) {
-        quarantine_files_[tree_index].push_back(aside);
-      }
+      SetAsideWithSidecar(DeltaPath(tree_index, generation),
+                          &quarantine_files_[tree_index]);
       continue;
     }
     delta_generations_[tree_index].push_back(generation);
-    auto delta_tree = PackedRTree::Open(DeltaPath(tree_index, generation),
-                                        pool_, io_stats_);
-    if (delta_tree.ok()) {
+    const std::string delta_path = DeltaPath(tree_index, generation);
+    auto delta_tree = PackedRTree::Open(delta_path, pool_, io_stats_);
+    Status delta_opened = delta_tree.status();
+    if (delta_opened.ok() && expect_checksums &&
+        !delta_tree.value()->checksums_enabled()) {
+      delta_opened = Status::Corruption("missing checksum sidecar for " +
+                                        ChecksumSidecarPath(delta_path));
+    }
+    if (delta_opened.ok()) {
       trees_[tree_index]->AddDelta(std::move(delta_tree).value());
     } else if (tolerant) {
-      QuarantineTree(tree_index, delta_tree.status(), report);
+      QuarantineTree(tree_index, delta_opened, report);
     } else {
-      return delta_tree.status();
+      return delta_opened;
     }
   }
   // Finish quarantining trees whose main file would not open: set aside
   // whatever is left of them and record the event.
   for (size_t t = 0; t < num_trees; ++t) {
     if (main_failures[t].ok()) continue;
-    const std::string path = TreePath(t, generations_[t]);
-    std::string aside;
-    if (FileExists(path) && SetAsideQuarantined(path, &aside)) {
-      quarantine_files_[t].push_back(aside);
-    }
+    SetAsideWithSidecar(TreePath(t, generations_[t]), &quarantine_files_[t]);
     if (report != nullptr) {
       report->quarantined_trees.push_back(t);
       for (uint32_t vid : plan_.trees[t].view_ids) {
@@ -451,11 +509,7 @@ void CubetreeForest::QuarantineTree(size_t t, const Status& why,
   delta_generations_[t].clear();
   quarantined_[t] = true;
   for (const std::string& path : paths) {
-    if (!FileExists(path)) continue;
-    std::string aside;
-    if (SetAsideQuarantined(path, &aside)) {
-      quarantine_files_[t].push_back(aside);
-    }
+    SetAsideWithSidecar(path, &quarantine_files_[t]);
   }
   if (report != nullptr) {
     report->quarantined_trees.push_back(t);
@@ -579,10 +633,17 @@ Result<std::unique_ptr<CubetreeForest>> CubetreeForest::Recover(
     const std::string path = forest->options_.dir + "/" + file;
     const bool tree_file =
         file.starts_with(name + "_t") && file.ends_with(".ctr");
+    // A checksum sidecar is live exactly when its data file is: one
+    // surviving alone is debris from the same interrupted refresh.
+    const bool sidecar_file =
+        file.starts_with(name + "_t") && file.ends_with(".ctr.crc");
+    const bool sidecar_orphan =
+        sidecar_file &&
+        live.find(path.substr(0, path.size() - 4)) == live.end();
     const bool stale_tmp = file == name + ".manifest.tmp";
     const bool stale_journal = file == name + ".refresh.wal";
-    if ((tree_file && live.find(path) == live.end()) || stale_tmp ||
-        stale_journal) {
+    if ((tree_file && live.find(path) == live.end()) || sidecar_orphan ||
+        stale_tmp || stale_journal) {
       orphans.push_back(path);
     }
   }
@@ -801,10 +862,7 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
     for (size_t t = 0; t < trees_.size(); ++t) {
       const std::string path = TreePath(t, generations_[t] + 1);
       if (t < new_trees.size()) new_trees[t].reset();
-      Status removed = RemoveFileIfExists(path);
-      if (!removed.ok()) {
-        CT_LOG(Warn) << "forest: refresh abort: " << removed.ToString();
-      }
+      RemoveTreeFileBestEffort(path, "refresh abort");
     }
     journal.reset();
     Status removed = RemoveFileIfExists(JournalPath());
@@ -878,6 +936,7 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
         const std::string path = delta_tree->path();
         delta_tree.reset();
         CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+        CT_RETURN_NOT_OK(RemoveChecksumSidecar(path));
         continue;
       }
       built[t] = std::move(delta_tree);
@@ -904,11 +963,7 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
       const std::string path =
           DeltaPath(t, static_cast<uint32_t>(built_generations[t]));
       built[t].reset();
-      Status removed = RemoveFileIfExists(path);
-      if (!removed.ok()) {
-        CT_LOG(Warn) << "forest: partial-refresh abort: "
-                     << removed.ToString();
-      }
+      RemoveTreeFileBestEffort(path, "partial-refresh abort");
     }
     return phase;
   }
@@ -987,10 +1042,7 @@ Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
     for (size_t t : targets) {
       const std::string path = TreePath(t, generations_[t] + 1);
       built[t].reset();
-      Status removed = RemoveFileIfExists(path);
-      if (!removed.ok()) {
-        CT_LOG(Warn) << "forest: rebuild abort: " << removed.ToString();
-      }
+      RemoveTreeFileBestEffort(path, "rebuild abort");
     }
     return phase;
   }
@@ -1017,6 +1069,39 @@ Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
   }
   PublishState();
   return Status::OK();
+}
+
+Result<bool> CubetreeForest::QuarantineForCorruption(
+    uint32_t view_id, const std::string& file_path, const Status& why) {
+  MutexLock lock(refresh_mu_);
+  auto it = plan_.view_to_tree.find(view_id);
+  if (it == plan_.view_to_tree.end() || it->second >= trees_.size()) {
+    return Status::NotFound("forest: unknown view id " +
+                            std::to_string(view_id));
+  }
+  const size_t t = it->second;
+  if (quarantined_[t]) return false;
+  if (!file_path.empty()) {
+    bool still_live = TreePath(t, generations_[t]) == file_path;
+    for (uint32_t g : delta_generations_[t]) {
+      still_live = still_live || DeltaPath(t, g) == file_path;
+    }
+    // The corrupt file already left the live generation (a refresh
+    // replaced it since the caller read from it); its epoch dies with the
+    // last snapshot pinning it, so there is nothing left to repair.
+    if (!still_live) return false;
+  }
+  CT_LOG(Warn) << "forest: quarantining tree " << t << " for corruption: "
+               << why.ToString();
+  QuarantineTree(t, why, nullptr);
+  // Publish immediately: in-flight queries keep their pinned snapshots,
+  // but every re-route from here on skips the quarantined views.
+  PublishState();
+  static obs::Counter* const quarantines =
+      obs::MetricsRegistry::Instance().GetCounter(
+          "forest.corruption_quarantines");
+  quarantines->Increment();
+  return true;
 }
 
 bool CubetreeForest::IsViewQuarantined(uint32_t view_id) const {
@@ -1205,6 +1290,7 @@ Status CubetreeForest::Destroy() {
     tree.reset();
     for (const std::string& path : paths) {
       CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+      CT_RETURN_NOT_OK(RemoveChecksumSidecar(path));
     }
   }
   trees_.clear();

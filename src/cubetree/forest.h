@@ -266,6 +266,20 @@ class CubetreeForest {
   Status RebuildQuarantined(ViewDataProvider* provider)
       EXCLUDES(refresh_mu_);
 
+  /// Read-repair entry point: takes the tree currently materializing
+  /// `view_id` out of service after a read surfaced Corruption (checksum
+  /// mismatch, bad magic, short read) and publishes a new epoch so routing
+  /// immediately skips the affected views. When `file_path` is non-empty
+  /// the quarantine only proceeds while that exact file is still part of
+  /// the live tree — a scrubber working off an older snapshot must not
+  /// shoot down a freshly refreshed, healthy replacement. Returns true if
+  /// the tree was newly quarantined; false if it was already quarantined
+  /// or already replaced. NotFound for an unknown view.
+  Result<bool> QuarantineForCorruption(uint32_t view_id,
+                                       const std::string& file_path,
+                                       const Status& why)
+      EXCLUDES(refresh_mu_);
+
   /// True if the tree materializing `view_id` is quarantined (queries
   /// against it return Unavailable until RebuildQuarantined runs).
   bool IsViewQuarantined(uint32_t view_id) const EXCLUDES(refresh_mu_);

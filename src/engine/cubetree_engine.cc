@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sort/external_sorter.h"
 
 namespace cubetree {
 
@@ -16,6 +19,7 @@ struct EngineMetrics {
   obs::Histogram* admission_wait_us;
   obs::Counter* queries;
   obs::Counter* pages_touched;
+  obs::Counter* read_repair_reroutes;
 
   static const EngineMetrics& Get() {
     static const EngineMetrics m = [] {
@@ -23,10 +27,35 @@ struct EngineMetrics {
       return EngineMetrics{reg.GetHistogram("engine.query_latency_us"),
                            reg.GetHistogram("engine.admission_wait_us"),
                            reg.GetCounter("engine.queries"),
-                           reg.GetCounter("engine.pages_touched")};
+                           reg.GetCounter("engine.pages_touched"),
+                           reg.GetCounter("engine.read_repair_reroutes")};
     }();
     return m;
   }
+};
+
+/// ViewDataProvider over per-view record buffers derived in memory ahead of
+/// the rebuild (from healthy replicas / superset views), already sorted in
+/// pack order.
+class ReplicaRepairProvider : public CubetreeForest::ViewDataProvider {
+ public:
+  void Add(uint32_t view_id, std::vector<char> buffer, size_t record_size) {
+    buffers_[view_id] = {std::move(buffer), record_size};
+  }
+
+  Result<std::unique_ptr<RecordStream>> OpenViewStream(
+      const ViewDef& view) override {
+    auto it = buffers_.find(view.id);
+    if (it == buffers_.end()) {
+      return Status::NotFound("replica repair: no derived data for view " +
+                              std::to_string(view.id));
+    }
+    return std::unique_ptr<RecordStream>(std::make_unique<MemoryRecordStream>(
+        it->second.first, it->second.second));
+  }
+
+ private:
+  std::map<uint32_t, std::pair<std::vector<char>, size_t>> buffers_;
 };
 
 }  // namespace
@@ -66,6 +95,102 @@ Status CubetreeEngine::RebuildQuarantined(ComputedViews* data) {
   }
   CT_RETURN_NOT_OK(forest_->RebuildQuarantined(data));
   CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
+  return Status::OK();
+}
+
+Status CubetreeEngine::RepairFromReplicas() {
+  if (forest_ == nullptr) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  if (!forest_->HasQuarantine()) return Status::OK();
+  obs::Span repair_span("repair.replicas");
+  ForestSnapshot snapshot = forest_->AcquireSnapshot();
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("cubetree engine: not loaded");
+  }
+  const std::vector<ViewDef>& views = forest_->views();
+  ReplicaRepairProvider provider;
+  size_t repaired_views = 0;
+  for (const ViewDef& view : views) {
+    if (!snapshot.IsViewQuarantined(view.id)) continue;
+    // Source selection mirrors routing: the cheapest healthy view whose
+    // attribute set covers the lost view's — a same-set replica rebuilds
+    // 1:1, a superset re-aggregates down.
+    const ViewDef* source = nullptr;
+    uint64_t source_rows = 0;
+    for (const ViewDef& cand : views) {
+      if (cand.id == view.id || snapshot.IsViewQuarantined(cand.id)) continue;
+      if (!cand.Covers(view.AttrMask())) continue;
+      auto it = view_rows_.find(cand.id);
+      const uint64_t rows =
+          it == view_rows_.end() ? UINT64_MAX : std::max<uint64_t>(it->second, 1);
+      if (source == nullptr || rows < source_rows) {
+        source = &cand;
+        source_rows = rows;
+      }
+    }
+    if (source == nullptr) {
+      return Status::Unavailable("replica repair: no healthy view covers " +
+                                 view.Name(schema_));
+    }
+    // Position of each of the lost view's attrs inside the source's
+    // projection list, for coordinate remapping.
+    std::vector<size_t> pos(view.attrs.size(), 0);
+    for (size_t i = 0; i < view.attrs.size(); ++i) {
+      for (size_t j = 0; j < source->attrs.size(); ++j) {
+        if (source->attrs[j] == view.attrs[i]) {
+          pos[i] = j;
+          break;
+        }
+      }
+    }
+    // Full-box scan of the source, re-aggregated into the lost view's
+    // groups. The map's comparator IS pack order (last attr most
+    // significant), so iteration yields records already sorted for the
+    // bulk rebuild. Merge is required twice over: a superset view folds
+    // many source tuples into one group, and QueryBox emits a key once per
+    // tree (main + each pending delta).
+    const uint8_t arity = view.arity();
+    auto pack_less = [arity](const std::vector<Coord>& a,
+                             const std::vector<Coord>& b) {
+      for (size_t i = arity; i > 0; --i) {
+        if (a[i - 1] != b[i - 1]) return a[i - 1] < b[i - 1];
+      }
+      return false;
+    };
+    std::map<std::vector<Coord>, AggValue, decltype(pack_less)> groups(
+        pack_less);
+    std::vector<std::pair<Coord, Coord>> intervals(source->arity(),
+                                                   {1, kCoordMax});
+    CT_ASSIGN_OR_RETURN(Cubetree * tree, snapshot.TreeForView(source->id));
+    std::vector<Coord> key(view.attrs.size());
+    CT_RETURN_NOT_OK(tree->QueryBox(
+        source->id, intervals,
+        [&](const Coord* coords, const AggValue& agg) {
+          for (size_t i = 0; i < pos.size(); ++i) key[i] = coords[pos[i]];
+          groups[key].Merge(agg);
+        }));
+    const size_t record_size = ViewRecordBytes(arity);
+    std::vector<char> buffer(groups.size() * record_size);
+    size_t off = 0;
+    for (const auto& [group_key, agg] : groups) {
+      EncodeViewRecord(buffer.data() + off, group_key.data(), arity, agg);
+      off += record_size;
+    }
+    provider.Add(view.id, std::move(buffer), record_size);
+    ++repaired_views;
+  }
+  if (repair_span.active()) {
+    repair_span.Annotate("views", static_cast<uint64_t>(repaired_views));
+  }
+  // Drop the pin before the rebuild publishes new generations, so the
+  // quarantined files it retires can be reclaimed promptly.
+  snapshot.Release();
+  CT_RETURN_NOT_OK(forest_->RebuildQuarantined(&provider));
+  CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
+  static obs::Counter* const repairs =
+      obs::MetricsRegistry::Instance().GetCounter("engine.replica_repairs");
+  repairs->Increment();
   return Status::OK();
 }
 
@@ -159,9 +284,51 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   trace.Annotate("engine", "cubetree");
   if (ctx != nullptr && trace.active()) ctx->set_trace_id(trace.trace_id());
   if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
-  // Pin one committed generation for the whole query. Concurrent refreshes
-  // publish new generations; this one stays intact (retired files included)
-  // until the snapshot is released on return.
+
+  // Read-repair retry loop. Each attempt routes against a freshly pinned
+  // snapshot; a Corruption from the search quarantines the routed tree
+  // (publishing a new epoch, so the next attempt's routing skips it) and
+  // re-runs against the next-cheapest healthy covering view. Every retry
+  // quarantines one more tree, so the number of views bounds the loop.
+  Status first_corruption;
+  const size_t max_attempts = forest_->views().size() + 1;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    uint32_t routed_view = 0;
+    Result<QueryResult> result = ExecuteAttempt(query, stats, ctx, &routed_view);
+    if (result.ok()) {
+      EngineMetrics::Get().query_latency_us->Record(
+          query_timer.ElapsedMicros());
+      return result;
+    }
+    if (result.status().IsCorruption()) {
+      if (first_corruption.ok()) first_corruption = result.status();
+      EngineMetrics::Get().read_repair_reroutes->Increment();
+      // Empty file_path: the engine saw the corruption through the routed
+      // tree itself, no staleness to guard against.
+      auto q = forest_->QuarantineForCorruption(routed_view, "",
+                                               result.status());
+      if (q.ok()) continue;  // Re-route (also when already quarantined).
+      return result;
+    }
+    if (result.status().IsNotFound() && !first_corruption.ok()) {
+      // Routing ran dry because corruption quarantined the only covering
+      // views; surface the typed root cause, not "no view".
+      return first_corruption;
+    }
+    return result;
+  }
+  return first_corruption.ok()
+             ? Status::Internal("cubetree engine: retry loop exhausted")
+             : first_corruption;
+}
+
+Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
+                                                   QueryExecStats* stats,
+                                                   const QueryContext* ctx,
+                                                   uint32_t* routed_view) {
+  // Pin one committed generation for the whole attempt. Concurrent
+  // refreshes publish new generations; this one stays intact (retired
+  // files included) until the snapshot is released on return.
   ForestSnapshot snapshot = forest_->AcquireSnapshot();
   if (!snapshot.valid()) {
     return Status::InvalidArgument("cubetree engine: not loaded");
@@ -192,6 +359,7 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   if (best == nullptr) {
     return Status::NotFound("no materialized view answers this query");
   }
+  *routed_view = best->id;
 
   // The routing estimate doubles as the admission cost hint: under
   // overload, the gate sheds the cheapest (least lost work) queries first.
@@ -305,7 +473,6 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   metrics.queries->Increment();
   metrics.pages_touched->Increment(search_stats.internal_pages +
                                    search_stats.leaf_pages);
-  metrics.query_latency_us->Record(query_timer.ElapsedMicros());
   return result;
 }
 

@@ -53,6 +53,17 @@ class CubetreeEngine : public ViewStore {
   /// same spool set Load consumes) and refreshes the router statistics.
   Status RebuildQuarantined(ComputedViews* data);
 
+  /// Rebuilds every quarantined tree from the surviving healthy views
+  /// instead of recomputed base data: each quarantined view is re-derived
+  /// by scanning the cheapest healthy covering view (typically its sort
+  /// order replica — same tuples, different physical order — or a superset
+  /// view re-aggregated down). No access to the fact table is needed, so
+  /// this is the fast path after a corruption quarantine. Unavailable when
+  /// some quarantined view has no healthy covering source; the forest is
+  /// left unchanged in that case and the caller falls back to
+  /// RebuildQuarantined with recomputed base data.
+  Status RepairFromReplicas();
+
   /// Plans and bulk-builds the forest from the computed view spools.
   /// `views` must include any replicas, and `data` must have spools for all
   /// of them.
@@ -81,6 +92,13 @@ class CubetreeEngine : public ViewStore {
   /// and cancellation token (checked at page-read granularity inside the
   /// storage layer) and is also respected while queued at the admission
   /// gate. `ctx` may be nullptr.
+  ///
+  /// Read-repair: when the search surfaces Corruption (a checksum mismatch
+  /// that survived the storage layer's re-reads), the affected tree is
+  /// quarantined and the query transparently re-routes to the next-cheapest
+  /// healthy covering view — a replica or superset — against a fresh
+  /// snapshot. Only when no healthy route remains does the caller see the
+  /// typed Corruption; a wrong answer is never returned silently.
   Result<QueryResult> Execute(const SliceQuery& query, QueryExecStats* stats,
                               const QueryContext* ctx);
 
@@ -97,6 +115,14 @@ class CubetreeEngine : public ViewStore {
   /// bound attrs prune partially via MBRs.
   double EstimateCost(const ViewDef& view, const SliceQuery& query,
                       uint64_t rows) const;
+
+  /// One routing + search attempt against a freshly pinned snapshot.
+  /// `*routed_view` reports which view served (or would have served) the
+  /// query so the retry loop in Execute can quarantine it on Corruption.
+  Result<QueryResult> ExecuteAttempt(const SliceQuery& query,
+                                     QueryExecStats* stats,
+                                     const QueryContext* ctx,
+                                     uint32_t* routed_view);
 
   CubeSchema schema_;
   Options options_;

@@ -193,6 +193,15 @@ Result<PhaseReport> Warehouse::RecoverCubetrees(uint32_t increments_applied,
                       CubetreeEngine::Recover(schema_, engine_options,
                                               cbt_pool_.get(), report));
   if (cubetree_->forest()->HasQuarantine()) {
+    // Fast path first: re-derive the lost views from surviving replicas /
+    // superset views — no fact-table recomputation. Falls through to the
+    // base-data rebuild when no healthy covering source survives.
+    Status replica_repair = cubetree_->RepairFromReplicas();
+    if (!replica_repair.ok() && !replica_repair.IsUnavailable()) {
+      return replica_repair;
+    }
+  }
+  if (cubetree_->forest()->HasQuarantine()) {
     // Rebuild the lost views from base data: recompute their contents over
     // everything the forest had absorbed before the crash.
     auto facts = increments_applied == 0

@@ -33,6 +33,7 @@ const FaultInjector::PointInfo kRegistry[] = {
     {"spool.seal", "sealing a record spool (flushing its tail page)"},
     {"rtree.build.start", "start of a packed R-tree bulk build"},
     {"rtree.build.sync", "fsync of a freshly built R-tree file"},
+    {"storage.checksum.finalize", "writing a page file's checksum sidecar"},
     {"forest.manifest.create", "creating the manifest tmp file"},
     {"forest.manifest.write", "writing the manifest tmp contents"},
     {"forest.manifest.sync", "fsync of the manifest tmp file"},
@@ -87,9 +88,14 @@ Result<FaultSpec> ParseSpec(const std::string& failpoint,
     spec.action = FaultAction::kCrash;
   } else if (body == "throw") {
     spec.action = FaultAction::kThrow;
+  } else if (body == "bitflip") {
+    spec.action = FaultAction::kBitflip;
+  } else if (body == "corrupt_page") {
+    spec.action = FaultAction::kCorruptPage;
   } else {
     return BadSpec(failpoint, text,
-                   "action must be error, torn, crash or throw");
+                   "action must be error, torn, crash, throw, bitflip or "
+                   "corrupt_page");
   }
   return spec;
 }
@@ -238,6 +244,12 @@ FaultOutcome FaultInjector::Check(const char* failpoint) {
       return outcome;
     case FaultAction::kError:
       outcome.fail = true;
+      return outcome;
+    case FaultAction::kBitflip:
+      outcome.bitflip = true;
+      return outcome;
+    case FaultAction::kCorruptPage:
+      outcome.corrupt_page = true;
       return outcome;
   }
   return outcome;

@@ -46,6 +46,15 @@ enum class FaultAction : int {
   kCrash,
   /// Throw SimulatedCrash (recoverable, in-process crash).
   kThrow,
+  /// Flip one deterministic bit in the page buffer after a successful read:
+  /// the user-space analog of media decay or a bad bus transfer. The
+  /// instrumented call itself succeeds — only checksum verification can
+  /// tell the data is wrong.
+  kBitflip,
+  /// Overwrite the whole page buffer with a garbage pattern after a
+  /// successful read: the analog of a misdirected read returning another
+  /// block's contents.
+  kCorruptPage,
 };
 
 /// When and how often a failpoint fires.
@@ -65,9 +74,15 @@ struct FaultSpec {
 struct FaultOutcome {
   bool fail = false;
   bool torn = false;
+  /// Corruption actions: the call succeeds but the caller must corrupt the
+  /// data it just produced (one flipped bit / whole-page garbage). Never
+  /// combined with `fail` — silent corruption is the point.
+  bool bitflip = false;
+  bool corrupt_page = false;
   std::string failpoint;
 
-  /// OK, or the injected IOError for this failpoint.
+  /// OK, or the injected IOError for this failpoint. Bitflip/corrupt_page
+  /// outcomes map to OK: the injected damage is silent by design.
   Status ToStatus() const;
 };
 
@@ -80,13 +95,17 @@ struct FaultOutcome {
 ///   CUBETREE_FAILPOINTS='forest.manifest.rename=crash;storage.page.read=error(2)'
 ///
 /// Spec grammar per failpoint: ACTION[(MAX_TRIGGERS)][@TRIGGER_ON_HIT]
-/// with ACTION one of error | torn | crash | throw. Examples:
+/// with ACTION one of error | torn | crash | throw | bitflip |
+/// corrupt_page. Examples:
 ///   error        every hit fails
 ///   error(2)     transient: the first two hits fail, later hits succeed
 ///   torn         half a page is persisted, then an IOError is returned
 ///   crash        _Exit(43) on the first hit
 ///   crash@3      _Exit(43) on the third hit
 ///   throw        throw SimulatedCrash on the first hit
+///   bitflip      every read silently returns one flipped bit
+///   bitflip(1)@4 the fourth read is silently corrupted, once
+///   corrupt_page every read silently returns a whole-page garbage pattern
 ///
 /// Thread-safe: hit counters and the armed map are guarded by an internal
 /// mutex, so the stress harness can arm failpoints while reader and

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtree/node.h"
+#include "storage/checksum.h"
 
 namespace cubetree {
 
@@ -61,11 +62,15 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
   }
   CT_FAULT("rtree.build.start");
   CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+  CT_RETURN_NOT_OK(RemoveChecksumSidecar(path));
   CT_ASSIGN_OR_RETURN(auto file,
                       PageManager::Create(path, std::move(io_stats)));
   auto tree = std::unique_ptr<PackedRTree>(
       new PackedRTree(std::move(file), options, pool));
   PageManager* pm = tree->file_.get();
+  // A packed tree is immutable once built: compute per-page checksums now,
+  // once per epoch, and verify on every subsequent read.
+  pm->StartChecksumTracking();
 
   // Reserve the meta page; it is filled in (one random write) at the end.
   CT_RETURN_NOT_OK(pm->AllocatePage().status());
@@ -164,6 +169,7 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
     CT_RETURN_NOT_OK(pm->WritePage(0, meta));
     CT_FAULT("rtree.build.sync");
     CT_RETURN_NOT_OK(pm->Sync());
+    CT_RETURN_NOT_OK(pm->FinalizeChecksums());
     return tree;
   }
 
@@ -211,6 +217,9 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Build(
   // already reached stable storage.
   CT_FAULT("rtree.build.sync");
   CT_RETURN_NOT_OK(pm->Sync());
+  // Sidecar after data sync: the checksums describe what is durably on
+  // disk, and both precede the manifest commit that names this file.
+  CT_RETURN_NOT_OK(pm->FinalizeChecksums());
   return tree;
 }
 
@@ -218,6 +227,12 @@ Result<std::unique_ptr<PackedRTree>> PackedRTree::Open(
     const std::string& path, BufferPool* pool,
     std::shared_ptr<IoStats> io_stats) {
   CT_ASSIGN_OR_RETURN(auto file, PageManager::Open(path, std::move(io_stats)));
+  if (Status cs = file->LoadChecksums(); !cs.ok()) {
+    // NotFound = pre-checksum file (manifest v1): reads stay unverified
+    // for back-compat. Anything else means the sidecar exists but is
+    // unusable — surface it so the tree is quarantined, not trusted.
+    if (!cs.IsNotFound()) return cs;
+  }
   Page meta;
   CT_RETURN_NOT_OK(file->ReadPage(0, &meta));
   const char* p = meta.data;

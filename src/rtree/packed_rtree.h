@@ -146,6 +146,9 @@ class PackedRTree {
   uint64_t FileSizeBytes() const { return file_->FileSizeBytes(); }
   const std::string& path() const { return file_->path(); }
   const RTreeOptions& tree_options() const { return options_; }
+  /// True when every page read of this tree is checksum-verified (the
+  /// `.crc` sidecar was written at build time or loaded at open).
+  bool checksums_enabled() const { return file_->checksums_enabled(); }
 
  private:
   PackedRTree(std::unique_ptr<PageManager> file, RTreeOptions options,

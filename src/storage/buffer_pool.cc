@@ -208,6 +208,15 @@ Result<PageHandle> BufferPool::Fetch(PageManager* file, PageId id) {
   Frame& f = frames_[idx];
   Status read = file->ReadPage(id, f.page.get());
   if (!read.ok()) {
+    // Failed-read invariant: the frame must return to the free list fully
+    // disassociated. GrabFrame hands out frames with f.file == nullptr
+    // (fresh ones start that way; evicted ones were cleared by EvictFrame),
+    // the page-table entry is only inserted after a successful read, and
+    // f.file/page_id/pin_count are only assigned below — so pushing the
+    // frame back leaks nothing and leaves no stale mapping for this (file,
+    // id) or the evicted predecessor. Exercised by the
+    // FetchReadError* regression tests under an armed storage.page.read
+    // failpoint.
     free_frames_.push_back(idx);
     return read;
   }

@@ -5,19 +5,46 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <sys/stat.h>
 
 #include "common/assert.h"
+#include "common/crc32.h"
 #include "common/query_context.h"
 #include "common/rng.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/checksum.h"
 
 namespace cubetree {
 
 namespace {
+
+/// Immediate re-reads after a checksum mismatch before it is surfaced as
+/// Corruption (see VerifyPageChecksum).
+constexpr int kChecksumRereads = 2;
+
+struct IntegrityMetrics {
+  obs::Counter* pages_verified;
+  obs::Counter* mismatches;
+  obs::Counter* reread_healed;
+  obs::Counter* corruption_errors;
+
+  static const IntegrityMetrics& Get() {
+    static const IntegrityMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return IntegrityMetrics{
+          reg.GetCounter("integrity.pages_verified"),
+          reg.GetCounter("integrity.checksum_mismatches"),
+          reg.GetCounter("integrity.reread_healed"),
+          reg.GetCounter("integrity.corruption_errors")};
+    }();
+    return m;
+  }
+};
 
 Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + std::strerror(errno));
@@ -90,16 +117,25 @@ Status PwriteFully(int fd, const void* buf, size_t count, off_t offset,
 
 Status PreadFully(int fd, void* buf, size_t count, off_t offset,
                   const std::string& context) {
+  const off_t start_offset = offset;
   char* cursor = static_cast<char*>(buf);
   size_t left = count;
   while (left > 0) {
     const ssize_t n = ::pread(fd, cursor, left, offset);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoStatus(context);
+      return ErrnoStatus(context + " (offset " +
+                         std::to_string(static_cast<long long>(offset)) + ")");
     }
     if (n == 0) {
-      return Status::Corruption("short read from " + context);
+      // Always name the file and the exact byte range: a short read is a
+      // structural finding (truncated or mis-sized file) and the operator
+      // needs to know where without re-running under a debugger.
+      return Status::Corruption(
+          "short read from " + context + ": wanted " + std::to_string(count) +
+          " bytes at offset " +
+          std::to_string(static_cast<long long>(start_offset)) + ", got " +
+          std::to_string(count - left));
     }
     cursor += n;
     offset += n;
@@ -232,9 +268,31 @@ Result<PageId> PageManager::AllocatePage() {
 }
 
 Status PageManager::ReadPageOnce(PageId id, Page* page) {
-  CT_FAULT("storage.page.read");
+  bool flip_bit = false;
+  bool trash_page = false;
+  if (FaultInjector::AnyArmed()) {
+    FaultOutcome outcome =
+        FaultInjector::Instance().Check("storage.page.read");
+    if (outcome.fail) return outcome.ToStatus();
+    flip_bit = outcome.bitflip;
+    trash_page = outcome.corrupt_page;
+  }
   const off_t offset = static_cast<off_t>(id) * kPageSize;
-  return PreadFully(fd_, page->data, kPageSize, offset, "pread " + path_);
+  CT_RETURN_NOT_OK(
+      PreadFully(fd_, page->data, kPageSize, offset, "pread " + path_));
+  if (trash_page) {
+    // Misdirected read: the transfer "succeeded" but delivered another
+    // block's contents. Only checksum verification can tell.
+    std::memset(page->data, 0xA5, kPageSize);
+  } else if (flip_bit) {
+    // One deterministic flipped bit per page id (Knuth-hash position), so
+    // repeated reads of the same page reproduce the same damage while
+    // different pages are hit in different bytes.
+    const size_t bit =
+        (static_cast<size_t>(id) * 2654435761u) % (kPageSize * 8);
+    page->data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+  return Status::OK();
 }
 
 Status PageManager::ReadPage(PageId id, Page* page) {
@@ -269,10 +327,80 @@ Status PageManager::ReadPage(PageId id, Page* page) {
     BackoffBeforeRetry(attempt, ctx);
   }
   if (!status.ok()) return status;
+  if (crc_mode_.load(std::memory_order_acquire) == kCrcVerify) {
+    CT_RETURN_NOT_OK(VerifyPageChecksum(id, page));
+  }
   RecordRead(id);
   // Attribute the physical read to the innermost span of the ambient trace
   // (one thread-local load when no trace is active).
   obs::NotePageRead();
+  return Status::OK();
+}
+
+Status PageManager::VerifyPageChecksum(PageId id, Page* page) {
+  if (id >= page_crcs_.size()) return Status::OK();
+  const uint32_t expected = page_crcs_[id];
+  uint32_t actual = Crc32c(page->data, kPageSize);
+  if (actual == expected) {
+    IntegrityMetrics::Get().pages_verified->Increment();
+    return Status::OK();
+  }
+  IntegrityMetrics::Get().mismatches->Increment();
+  // A mismatch can be transient (bad DMA/bus transfer, a flipped bit in
+  // flight): a fresh transfer of the same sector heals it. Bad bytes on
+  // the platter do not, so after a bounded number of immediate re-reads
+  // the mismatch is promoted to Corruption for the repair path.
+  for (int attempt = 0; attempt < kChecksumRereads; ++attempt) {
+    const Status reread = ReadPageOnce(id, page);
+    if (reread.ok()) {
+      actual = Crc32c(page->data, kPageSize);
+      if (actual == expected) {
+        IntegrityMetrics::Get().reread_healed->Increment();
+        return Status::OK();
+      }
+    }
+  }
+  IntegrityMetrics::Get().corruption_errors->Increment();
+  char crcs[64];
+  std::snprintf(crcs, sizeof(crcs), "stored 0x%08x, computed 0x%08x",
+                expected, actual);
+  return Status::Corruption(
+      "checksum mismatch on page " + std::to_string(id) + " of " + path_ +
+      " (offset " + std::to_string(static_cast<uint64_t>(id) * kPageSize) +
+      ", " + std::to_string(kPageSize) + " bytes): " + crcs);
+}
+
+void PageManager::StartChecksumTracking() {
+  page_crcs_.assign(NumPages(), 0);
+  crc_mode_.store(kCrcTrack, std::memory_order_release);
+}
+
+Status PageManager::FinalizeChecksums() {
+  if (crc_mode_.load(std::memory_order_relaxed) != kCrcTrack) {
+    return Status::InvalidArgument("FinalizeChecksums on " + path_ +
+                                   " without StartChecksumTracking");
+  }
+  if (page_crcs_.size() != NumPages()) {
+    return Status::Internal("checksum table for " + path_ + " covers " +
+                            std::to_string(page_crcs_.size()) + " of " +
+                            std::to_string(NumPages()) + " pages");
+  }
+  CT_RETURN_NOT_OK(WriteChecksumSidecar(path_, page_crcs_));
+  crc_mode_.store(kCrcVerify, std::memory_order_release);
+  return Status::OK();
+}
+
+Status PageManager::LoadChecksums() {
+  std::vector<uint32_t> table;
+  CT_RETURN_NOT_OK(LoadChecksumSidecar(path_, &table));
+  if (table.size() != NumPages()) {
+    return Status::Corruption(
+        "checksum sidecar " + ChecksumSidecarPath(path_) + " covers " +
+        std::to_string(table.size()) + " pages but " + path_ + " has " +
+        std::to_string(NumPages()));
+  }
+  page_crcs_ = std::move(table);
+  crc_mode_.store(kCrcVerify, std::memory_order_release);
   return Status::OK();
 }
 
@@ -291,7 +419,15 @@ Status PageManager::WritePageAt(PageId id, const Page& page,
     }
     if (outcome.fail) return outcome.ToStatus();
   }
-  return PwriteFully(fd_, page.data, kPageSize, offset, "pwrite " + path_);
+  CT_RETURN_NOT_OK(
+      PwriteFully(fd_, page.data, kPageSize, offset, "pwrite " + path_));
+  if (crc_mode_.load(std::memory_order_relaxed) == kCrcTrack) {
+    // Single-writer build thread (same discipline as appends): fold the
+    // page into the table that FinalizeChecksums persists.
+    if (page_crcs_.size() <= id) page_crcs_.resize(id + 1, 0);
+    page_crcs_[id] = Crc32c(page.data, kPageSize);
+  }
+  return Status::OK();
 }
 
 Status PageManager::WritePage(PageId id, const Page& page) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -81,6 +82,38 @@ class PageManager {
   /// Flushes the file to stable storage.
   Status Sync();
 
+  /// --- Per-page checksums (end-to-end integrity) ----------------------
+  /// Packed structures are immutable once built, so their checksums are
+  /// computed exactly once: the builder calls StartChecksumTracking()
+  /// right after Create(), every WritePage/AppendPage folds the page into
+  /// an in-memory CRC-32C table, and FinalizeChecksums() persists the
+  /// table to the `<path>.crc` sidecar and arms verify-on-read. Readers
+  /// re-open with LoadChecksums(). Verification happens inside ReadPage —
+  /// beneath the buffer pool — so every physical page entering the process
+  /// is checked, whether it came through the pool or a direct scan.
+  ///
+  /// Single-writer like appends: tracking happens on the one build thread;
+  /// once verify mode is published (release store) the table is immutable
+  /// and concurrent readers verify lock-free.
+
+  /// Begins tracking per-page checksums of subsequent writes.
+  void StartChecksumTracking();
+
+  /// Persists the tracked table as the `<path>.crc` sidecar (durably) and
+  /// switches this manager to verify-on-read. Call after Sync().
+  Status FinalizeChecksums();
+
+  /// Loads the sidecar written by FinalizeChecksums and arms
+  /// verify-on-read. NotFound when no sidecar exists (a pre-checksum
+  /// file: reads stay unverified); Corruption when the sidecar is present
+  /// but invalid.
+  Status LoadChecksums();
+
+  /// True when ReadPage verifies every page against a checksum table.
+  bool checksums_enabled() const {
+    return crc_mode_.load(std::memory_order_acquire) == kCrcVerify;
+  }
+
   PageId NumPages() const {
     return num_pages_.load(std::memory_order_relaxed);
   }
@@ -95,8 +128,14 @@ class PageManager {
   PageManager(std::string path, int fd, PageId num_pages,
               std::shared_ptr<IoStats> stats);
 
+  enum CrcMode : int { kCrcOff = 0, kCrcTrack = 1, kCrcVerify = 2 };
+
   Status ReadPageOnce(PageId id, Page* page);
   Status WritePageAt(PageId id, const Page& page, const char* failpoint);
+  /// Verifies `*page` against the loaded table; on mismatch performs a
+  /// small number of immediate re-reads (transient transfer corruption
+  /// heals, bad bytes on the platter do not) before surfacing Corruption.
+  Status VerifyPageChecksum(PageId id, Page* page);
   void RecordRead(PageId id);
   void RecordWrite(PageId id);
 
@@ -104,6 +143,11 @@ class PageManager {
   int fd_;
   std::atomic<PageId> num_pages_;
   std::shared_ptr<IoStats> stats_;
+  /// kCrcOff -> kCrcTrack -> kCrcVerify, transitions on the single build
+  /// thread; the release store of kCrcVerify publishes page_crcs_ to
+  /// readers, which from then on treat it as immutable.
+  std::atomic<int> crc_mode_{kCrcOff};
+  std::vector<uint32_t> page_crcs_;
   // Heads used to classify accesses as sequential vs random. Atomic so
   // concurrent readers stay race-free; the classification itself remains a
   // single-stream heuristic.

@@ -56,6 +56,10 @@ TEST_F(FaultTest, SpecGrammar) {
   ASSERT_OK(injector.Arm("wal.force", "crash@3"));
   ASSERT_OK(injector.Arm("wal.force", "torn(1)@2"));
   ASSERT_OK(injector.Arm("wal.force", "throw"));
+  ASSERT_OK(injector.Arm("storage.page.read", "bitflip"));
+  ASSERT_OK(injector.Arm("storage.page.read", "bitflip(1)@4"));
+  ASSERT_OK(injector.Arm("storage.page.read", "corrupt_page"));
+  ASSERT_OK(injector.Arm("storage.page.read", "corrupt_page(2)@3"));
   EXPECT_FALSE(injector.Arm("wal.force", "explode").ok());
   EXPECT_FALSE(injector.Arm("wal.force", "error(0x2)").ok());
   EXPECT_FALSE(injector.Arm("wal.force", "error@").ok());
@@ -87,6 +91,28 @@ TEST_F(FaultTest, TriggerOnHitAndMaxTriggers) {
   EXPECT_TRUE(injector.Check("wal.force").fail);   // hit 3: trigger 2
   EXPECT_FALSE(injector.Check("wal.force").fail);  // exhausted
   EXPECT_EQ(injector.HitCount("wal.force"), base + 4);
+}
+
+TEST_F(FaultTest, CorruptionActionsReportThroughOutcomeNotStatus) {
+  // bitflip / corrupt_page model SILENT corruption: the I/O "succeeds" (no
+  // fail flag, OK status) and only the outcome flags tell the storage
+  // layer to damage the freshly read bytes. Detection is the checksum
+  // layer's job, not the injector's.
+  auto& injector = FaultInjector::Instance();
+  ASSERT_OK(injector.Arm("storage.page.read", "bitflip(1)"));
+  FaultOutcome outcome = injector.Check("storage.page.read");
+  EXPECT_TRUE(outcome.bitflip);
+  EXPECT_FALSE(outcome.fail);
+  EXPECT_FALSE(outcome.corrupt_page);
+  EXPECT_OK(outcome.ToStatus());
+  outcome = injector.Check("storage.page.read");  // (1): exhausted.
+  EXPECT_FALSE(outcome.bitflip);
+
+  ASSERT_OK(injector.Arm("storage.page.read", "corrupt_page(1)"));
+  outcome = injector.Check("storage.page.read");
+  EXPECT_TRUE(outcome.corrupt_page);
+  EXPECT_FALSE(outcome.fail);
+  EXPECT_OK(outcome.ToStatus());
 }
 
 TEST_F(FaultTest, InjectedErrorStatusNamesTheFailpoint) {

@@ -9,6 +9,7 @@
 #include "rtree/packed_rtree.h"
 #include "rtree/zorder.h"
 #include "storage/buffer_pool.h"
+#include "storage/checksum.h"
 #include "tests/test_util.h"
 
 namespace cubetree {
@@ -548,6 +549,11 @@ TEST_F(PackedRTreeTest, ValidateDetectsCorruptedMeta) {
     EncodeFixed64(meta.data + 16, 999999);
     ASSERT_OK(file->WritePage(0, meta));
   }
+  // Drop the checksum sidecar so the *structural* validator is what gets
+  // exercised — with the sidecar present, verify-on-read catches the
+  // tampering at Open before Validate ever runs (covered separately by the
+  // integrity tests).
+  ASSERT_OK(RemoveChecksumSidecar(path));
   ASSERT_OK_AND_ASSIGN(auto tree, PackedRTree::Open(path, pool_.get()));
   EXPECT_TRUE(tree->Validate().IsCorruption());
 }
@@ -572,6 +578,9 @@ TEST_F(PackedRTreeTest, ValidateDetectsCorruptedLeaf) {
     EncodeFixed32(entry, 0xFFFFFFF0u);
     ASSERT_OK(file->WritePage(victim, page));
   }
+  // As above: remove the sidecar so structural validation, not
+  // verify-on-read, detects the damage.
+  ASSERT_OK(RemoveChecksumSidecar(path));
   ASSERT_OK_AND_ASSIGN(auto tree, PackedRTree::Open(path, pool_.get()));
   EXPECT_TRUE(tree->Validate().IsCorruption());
 }

@@ -1,8 +1,16 @@
 #include <gtest/gtest.h>
 
-#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/crc32.h"
+#include "fault/fault_injector.h"
 #include "storage/buffer_pool.h"
+#include "storage/checksum.h"
 #include "storage/io_stats.h"
 #include "storage/page_manager.h"
 #include "tests/test_util.h"
@@ -238,6 +246,251 @@ TEST(BufferPoolTest, HitRatioComputed) {
   EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.75);
   stats.Clear();
   EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.0);
+}
+
+// --- Short-read error context (end-to-end integrity satellite) ----------
+
+TEST(PageManagerTest, ShortReadCorruptionCarriesContextAndOffset) {
+  const std::string dir = MakeTestDir("pm_short_read");
+  const std::string path = dir + "/short.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<char> bytes(100, 'z');
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  char buf[256];
+  Status status = PreadFully(fd, buf, sizeof(buf), 50, path);
+  ::close(fd);
+  ASSERT_TRUE(status.IsCorruption()) << status.ToString();
+  // A truncated read must identify the file, the requested byte range and
+  // how far it got — an operator chasing corruption needs all three.
+  const std::string text = status.ToString();
+  EXPECT_NE(text.find(path), std::string::npos) << text;
+  EXPECT_NE(text.find("offset 50"), std::string::npos) << text;
+  EXPECT_NE(text.find("got 50"), std::string::npos) << text;
+}
+
+// --- Checksum sidecars ---------------------------------------------------
+
+TEST(ChecksumTest, SidecarRoundTrip) {
+  const std::string dir = MakeTestDir("crc_roundtrip");
+  const std::string path = dir + "/data.pg";
+  const std::vector<uint32_t> crcs = {0u, 0xdeadbeefu, 42u, 0xffffffffu};
+  ASSERT_OK(WriteChecksumSidecar(path, crcs));
+  std::vector<uint32_t> loaded;
+  ASSERT_OK(LoadChecksumSidecar(path, &loaded));
+  EXPECT_EQ(loaded, crcs);
+  ASSERT_OK(RemoveChecksumSidecar(path));
+  Status missing = LoadChecksumSidecar(path, &loaded);
+  EXPECT_TRUE(missing.IsNotFound()) << missing.ToString();
+  // Removing an absent sidecar is not an error.
+  ASSERT_OK(RemoveChecksumSidecar(path));
+}
+
+TEST(ChecksumTest, SidecarEmptyTableRoundTrips) {
+  const std::string dir = MakeTestDir("crc_empty");
+  const std::string path = dir + "/data.pg";
+  ASSERT_OK(WriteChecksumSidecar(path, {}));
+  std::vector<uint32_t> loaded = {1, 2, 3};
+  ASSERT_OK(LoadChecksumSidecar(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(ChecksumTest, CorruptSidecarRejectedWithPathContext) {
+  const std::string dir = MakeTestDir("crc_corrupt");
+  const std::string path = dir + "/data.pg";
+  ASSERT_OK(WriteChecksumSidecar(path, {1u, 2u, 3u}));
+  const std::string sidecar = ChecksumSidecarPath(path);
+
+  // Flip a byte inside the CRC table: the table checksum must catch it.
+  {
+    std::fstream f(sidecar, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(18);
+    f.put('\x7f');
+  }
+  std::vector<uint32_t> loaded;
+  Status status = LoadChecksumSidecar(path, &loaded);
+  ASSERT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_NE(status.ToString().find(sidecar), std::string::npos)
+      << status.ToString();
+
+  // Truncation below the fixed header is Corruption too, not NotFound.
+  ASSERT_EQ(::truncate(sidecar.c_str(), 7), 0);
+  status = LoadChecksumSidecar(path, &loaded);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(ChecksumTest, PageManagerVerifyOnReadLifecycle) {
+  const std::string dir = MakeTestDir("crc_pm");
+  const std::string path = dir + "/data.pg";
+  Page page;
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(path));
+    pm->StartChecksumTracking();
+    EXPECT_FALSE(pm->checksums_enabled());
+    for (int i = 0; i < 4; ++i) {
+      page.Zero();
+      page.data[0] = static_cast<char>('a' + i);
+      ASSERT_OK_AND_ASSIGN(PageId id, pm->AppendPage(page));
+      EXPECT_EQ(id, static_cast<PageId>(i));
+    }
+    ASSERT_OK(pm->Sync());
+    ASSERT_OK(pm->FinalizeChecksums());
+    EXPECT_TRUE(pm->checksums_enabled());
+    // Verified reads succeed against the live table.
+    ASSERT_OK(pm->ReadPage(2, &page));
+    EXPECT_EQ(page.data[0], 'c');
+  }
+  // Reopen: the sidecar re-arms verification.
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Open(path));
+    EXPECT_FALSE(pm->checksums_enabled());
+    ASSERT_OK(pm->LoadChecksums());
+    EXPECT_TRUE(pm->checksums_enabled());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_OK(pm->ReadPage(static_cast<PageId>(i), &page));
+      EXPECT_EQ(page.data[0], static_cast<char>('a' + i));
+    }
+  }
+  // Corrupt one byte of page 1 on disk: the verified read must surface a
+  // typed Corruption naming the page and byte offset, and the sibling
+  // pages must stay readable.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(kPageSize) + 100);
+    f.put('\x55');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Open(path));
+    ASSERT_OK(pm->LoadChecksums());
+    Status bad = pm->ReadPage(1, &page);
+    ASSERT_TRUE(bad.IsCorruption()) << bad.ToString();
+    const std::string text = bad.ToString();
+    EXPECT_NE(text.find(path), std::string::npos) << text;
+    EXPECT_NE(text.find("page 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("offset 8192"), std::string::npos) << text;
+    ASSERT_OK(pm->ReadPage(0, &page));
+    ASSERT_OK(pm->ReadPage(2, &page));
+    ASSERT_OK(pm->ReadPage(3, &page));
+  }
+  // A file opened without LoadChecksums still reads the damaged page —
+  // that is exactly the pre-checksum behavior the sidecar upgrade fixes.
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Open(path));
+    ASSERT_OK(pm->ReadPage(1, &page));
+  }
+}
+
+TEST(ChecksumTest, LoadChecksumsRejectsPageCountMismatch) {
+  const std::string dir = MakeTestDir("crc_count");
+  const std::string path = dir + "/data.pg";
+  Page page;
+  page.Zero();
+  {
+    ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(path));
+    ASSERT_OK_AND_ASSIGN(PageId id, pm->AppendPage(page));
+    (void)id;
+    ASSERT_OK(pm->Sync());
+  }
+  // Sidecar describing a different page count than the file.
+  ASSERT_OK(WriteChecksumSidecar(path, {1u, 2u, 3u}));
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Open(path));
+  Status status = pm->LoadChecksums();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_FALSE(pm->checksums_enabled());
+}
+
+// --- BufferPool::Fetch failed-read invariant -----------------------------
+
+// A failed physical read inside Fetch must return the grabbed frame to the
+// free list with no page-table entry and no pin — otherwise the pool leaks
+// one frame per I/O error until nothing can be fetched at all.
+TEST(BufferPoolTest, FetchReadErrorLeaksNoFrameOrMapping) {
+  const std::string dir = MakeTestDir("bp_read_error");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(2);
+  Page page;
+  page.Zero();
+  for (int i = 0; i < 3; ++i) {
+    page.data[0] = static_cast<char>('a' + i);
+    ASSERT_OK_AND_ASSIGN(PageId id, pm->AppendPage(page));
+    (void)id;
+  }
+  PageManager::SetReadRetryPolicy(1, 0);
+  // Ten consecutive failed fetches: if any of them leaked a frame or
+  // double-freed one, the 2-frame pool below could not serve 2 pins.
+  ASSERT_OK(FaultInjector::Instance().Arm("storage.page.read", "error(10)"));
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = pool.Fetch(pm.get(), static_cast<PageId>(i % 3));
+    ASSERT_FALSE(fetched.ok());
+    EXPECT_TRUE(fetched.status().IsIOError())
+        << fetched.status().ToString();
+    EXPECT_EQ(pool.PinnedPages(), 0u);
+  }
+  FaultInjector::Instance().DisarmAll();
+  PageManager::SetReadRetryPolicy(4, 0);
+  // No stale page-table entry: a post-error fetch performs a real read and
+  // returns the true bytes.
+  {
+    ASSERT_OK_AND_ASSIGN(PageHandle h0, pool.Fetch(pm.get(), 0));
+    EXPECT_EQ(h0.data()[0], 'a');
+    ASSERT_OK_AND_ASSIGN(PageHandle h1, pool.Fetch(pm.get(), 1));
+    EXPECT_EQ(h1.data()[0], 'b');
+    // Both frames pinned: the pool is exactly full, proving the failed
+    // fetches neither leaked a frame nor duplicated one on the free list.
+    auto third = pool.Fetch(pm.get(), 2);
+    ASSERT_FALSE(third.ok());
+    EXPECT_TRUE(third.status().IsResourceExhausted())
+        << third.status().ToString();
+    EXPECT_EQ(pool.PinnedPages(), 2u);
+  }
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  ASSERT_OK_AND_ASSIGN(PageHandle h2, pool.Fetch(pm.get(), 2));
+  EXPECT_EQ(h2.data()[0], 'c');
+}
+
+// Same invariant under eviction pressure: the failed read's frame came
+// from evicting a clean cached page, whose mapping must be gone while the
+// failed page's mapping must never appear.
+TEST(BufferPoolTest, FetchReadErrorAfterEvictionKeepsTableConsistent) {
+  const std::string dir = MakeTestDir("bp_read_error_evict");
+  ASSERT_OK_AND_ASSIGN(auto pm, PageManager::Create(dir + "/f.pg"));
+  BufferPool pool(2);
+  Page page;
+  page.Zero();
+  for (int i = 0; i < 3; ++i) {
+    page.data[0] = static_cast<char>('a' + i);
+    ASSERT_OK_AND_ASSIGN(PageId id, pm->AppendPage(page));
+    (void)id;
+  }
+  // Warm the pool with pages 0 and 1 (unpinned, evictable).
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.Fetch(pm.get(), 0)); }
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.Fetch(pm.get(), 1)); }
+  PageManager::SetReadRetryPolicy(1, 0);
+  ASSERT_OK(FaultInjector::Instance().Arm("storage.page.read", "error(1)"));
+  auto fetched = pool.Fetch(pm.get(), 2);
+  ASSERT_FALSE(fetched.ok());
+  FaultInjector::Instance().DisarmAll();
+  PageManager::SetReadRetryPolicy(4, 0);
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  const uint64_t misses_before = pool.stats().misses;
+  // Page 2 must not have a stale mapping: fetching it is a miss with a
+  // real read, and the data is correct.
+  {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.Fetch(pm.get(), 2));
+    EXPECT_EQ(h.data()[0], 'c');
+  }
+  EXPECT_EQ(pool.stats().misses, misses_before + 1);
+  // The evicted victim is re-fetchable too.
+  {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.Fetch(pm.get(), 1));
+    EXPECT_EQ(h.data()[0], 'b');
+  }
 }
 
 }  // namespace

@@ -263,6 +263,90 @@ TEST(WalTest, TolerantReplayTruncationSweepMultiPage) {
   }
 }
 
+// Torn tail at the exact CRC-frame boundary: the crash cut the log
+// between a record's 4-byte length word and its 4-byte checksum word. The
+// length is present and nonzero, the checksum and payload are gone — the
+// nastiest framing state, because a replayer that trusts the length word
+// alone would happily deliver garbage. Both replay modes must refuse:
+// tolerant recovers exactly the preceding records and reports the tail
+// torn; strict surfaces a typed error, never a partial record.
+TEST(WalTest, TornTailAtHeaderCrcBoundary) {
+  const std::string dir = MakeTestDir("wal_header_boundary");
+  const std::string path = dir + "/w.wal";
+  const std::string cut_path = dir + "/cut.wal";
+  std::vector<std::string> written;
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, WriteAheadLog::Create(path));
+    for (size_t size : {100u, 200u, 300u}) {
+      written.emplace_back(size, static_cast<char>('a' + written.size()));
+      ASSERT_OK(
+          wal->LogRecord(written.back().data(), written.back().size()));
+    }
+    ASSERT_OK(wal->Force());
+  }
+  size_t last_start = 0;
+  for (size_t i = 0; i + 1 < written.size(); ++i) {
+    last_start += kHeader + written[i].size();
+  }
+  const std::string bytes = ReadFileBytes(path);
+  // Cut exactly 4 bytes into the last record's header: after the length
+  // word, before the checksum word.
+  const size_t cut = last_start + 4;
+  WritePrefix(cut_path, bytes, cut);
+
+  std::vector<std::string> replayed;
+  ASSERT_OK_AND_ASSIGN(
+      auto tolerant,
+      WriteAheadLog::ReplayTolerant(cut_path, [&](const char* d, size_t n) {
+        replayed.emplace_back(d, n);
+      }));
+  EXPECT_EQ(tolerant.records, written.size() - 1);
+  ASSERT_EQ(replayed.size(), written.size() - 1);
+  for (size_t i = 0; i + 1 < written.size(); ++i) {
+    EXPECT_EQ(replayed[i], written[i]);
+  }
+  EXPECT_TRUE(tolerant.torn);
+  EXPECT_EQ(tolerant.torn_bytes, 4u);
+
+  // Strict replay of the raw cut: the file is not page-aligned, so the
+  // open itself refuses — no partial record can ever be delivered.
+  size_t strict_applied = 0;
+  auto strict_raw = WriteAheadLog::Replay(
+      cut_path, [&](const char*, size_t) { ++strict_applied; });
+  EXPECT_FALSE(strict_raw.ok());
+  EXPECT_EQ(strict_applied, 0u);
+
+  // Page-granular devices zero-fill the remainder of the torn sector:
+  // extend the cut file to a whole zero page. Strict replay now parses a
+  // nonzero length whose checksum word was zeroed — a typed Corruption at
+  // the frame boundary, with the exact record sequence untouched.
+  {
+    std::string padded = bytes.substr(0, cut);
+    padded.resize(kPageSize, '\0');
+    WritePrefix(cut_path, padded, padded.size());
+  }
+  strict_applied = 0;
+  auto strict_padded = WriteAheadLog::Replay(
+      cut_path, [&](const char*, size_t) { ++strict_applied; });
+  ASSERT_FALSE(strict_padded.ok());
+  EXPECT_TRUE(strict_padded.status().IsCorruption())
+      << strict_padded.status().ToString();
+  // The two intact records preceding the boundary were applied; the torn
+  // third never was.
+  EXPECT_EQ(strict_applied, written.size() - 1);
+
+  // Tolerant replay of the padded variant agrees with the raw cut on the
+  // recovered prefix.
+  replayed.clear();
+  ASSERT_OK_AND_ASSIGN(
+      auto tolerant_padded,
+      WriteAheadLog::ReplayTolerant(cut_path, [&](const char* d, size_t n) {
+        replayed.emplace_back(d, n);
+      }));
+  EXPECT_EQ(tolerant_padded.records, written.size() - 1);
+  EXPECT_TRUE(tolerant_padded.torn);
+}
+
 // Crash mid-append simulated through the storage failpoint instead of
 // after-the-fact truncation: the spilling page persists only a prefix, and
 // tolerant replay recovers every record fully inside it.
