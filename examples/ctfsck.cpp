@@ -118,7 +118,8 @@ int ListFailpoints() {
       "Registered fault-injection points (arm via CUBETREE_FAILPOINTS):\n"
       "\n"
       "  CUBETREE_FAILPOINTS='name=ACTION[(MAX)][@HIT][;name=...]'\n"
-      "  ACTION: error | torn | crash | throw | bitflip | corrupt_page\n"
+      "  ACTION: error | torn | crash | throw | bitflip | corrupt_page |\n"
+      "          enospc | short_write\n"
       "  @HIT:   trigger on the Nth hit of the point (default 1)\n"
       "  (MAX):  stay armed for MAX triggers (default: unlimited)\n"
       "\n");

@@ -1,4 +1,5 @@
 #include <dirent.h>
+#include <sys/stat.h>
 
 #include <map>
 #include <set>
@@ -6,6 +7,7 @@
 
 #include "check/checkers.h"
 #include "cubetree/forest.h"
+#include "storage/disk_space.h"
 
 namespace cubetree {
 
@@ -196,6 +198,41 @@ Status ForestChecker::Run(CheckReport* report) {
       }
     }
     ::closedir(d);
+  }
+
+  // --- Disk space -------------------------------------------------------
+  // The live file footprint against the volume's free space, so an
+  // operator sees how close the next refresh is to a StorageFull refusal
+  // (the preflight transiently needs roughly the live bytes again).
+  {
+    uint64_t live_bytes = 0;
+    for (const std::string& path : live_files) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0) {
+        live_bytes += static_cast<uint64_t>(st.st_size);
+      }
+      if (::stat((path + ".crc").c_str(), &st) == 0) {
+        live_bytes += static_cast<uint64_t>(st.st_size);
+      }
+    }
+    DiskSpaceManager disk(DiskSpaceManager::Options{impl_->dir});
+    auto space = disk.Probe();
+    if (space.ok()) {
+      report->AddInfo(
+          "forest", "disk-space",
+          std::to_string(live_bytes) + " live byte(s) (trees + sidecars); " +
+              "volume has " + std::to_string(space->free_bytes) +
+              " free, " + std::to_string(space->usable_bytes()) +
+              " usable after the " + std::to_string(space->reserve_bytes) +
+              "-byte reserve; a full refresh preflights ~" +
+              std::to_string(EstimateRefreshBytes(live_bytes, 0)) + " bytes",
+          impl_->dir);
+    } else {
+      report->AddWarning("forest", "disk-space",
+                         "free-space probe failed: " +
+                             space.status().ToString(),
+                         impl_->dir);
+    }
   }
 
   // --- Deep per-file validation -----------------------------------------

@@ -30,6 +30,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kStorageFull:
+      return "StorageFull";
   }
   return "Unknown";
 }

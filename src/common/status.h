@@ -27,6 +27,10 @@ enum class StatusCode : int {
   kCancelled = 10,
   /// The operation's deadline expired before it completed.
   kDeadlineExceeded = 11,
+  /// The underlying volume is out of space (ENOSPC/EDQUOT or a short
+  /// write): distinct from kIOError because nothing is broken — the
+  /// operation will succeed once space is reclaimed, so it is retriable.
+  kStorageFull = 12,
 };
 
 /// A Status is either OK (cheap, no allocation) or an error code plus a
@@ -82,6 +86,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string_view msg) {
     return Status(StatusCode::kDeadlineExceeded, msg);
   }
+  static Status StorageFull(std::string_view msg) {
+    return Status(StatusCode::kStorageFull, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -98,16 +105,20 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsStorageFull() const { return code_ == StatusCode::kStorageFull; }
 
   /// True for failures a caller may reasonably retry as-is: transient I/O
   /// errors, temporary unavailability (quarantine pending rebuild), and
-  /// resource exhaustion (admission queue full, memory budget denied). A
-  /// DeadlineExceeded or Cancelled status is the *caller's* verdict, not a
-  /// transient server condition, so it is deliberately not retriable here.
+  /// resource exhaustion (admission queue full, memory budget denied), and
+  /// a full disk (space frees up as epochs are reclaimed or the operator
+  /// intervenes). A DeadlineExceeded or Cancelled status is the *caller's*
+  /// verdict, not a transient server condition, so it is deliberately not
+  /// retriable here.
   bool IsRetriable() const {
     return code_ == StatusCode::kIOError ||
            code_ == StatusCode::kUnavailable ||
-           code_ == StatusCode::kResourceExhausted;
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kStorageFull;
   }
 
   StatusCode code() const { return code_; }

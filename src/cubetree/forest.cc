@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -25,6 +26,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/checksum.h"
+#include "storage/disk_space.h"
 #include "storage/page_manager.h"
 
 namespace cubetree {
@@ -130,7 +132,10 @@ obs::Gauge* GcBacklogGauge() {
 }  // namespace
 
 TrackedFile::TrackedFile(std::string path, std::shared_ptr<GcShared> gc)
-    : path_(std::move(path)), gc_(std::move(gc)) {}
+    : path_(std::move(path)), gc_(std::move(gc)) {
+  MutexLock lock(gc_->mu);
+  gc_->tracked_paths.insert(path_);
+}
 
 void TrackedFile::Retire() {
   if (retired_.exchange(true, std::memory_order_relaxed)) return;
@@ -154,6 +159,14 @@ void TrackedFile::Retire() {
 }
 
 TrackedFile::~TrackedFile() {
+  {
+    // The token is dying on every path below, so the path loses its
+    // protection from the online reclaim sweep either way: a leaked file
+    // becomes sweepable (that is how it is reclaimed without a restart),
+    // an unlinked one is gone, an unretired one is still in the live set.
+    MutexLock lock(gc_->mu);
+    gc_->tracked_paths.erase(path_);
+  }
   // Unretired: the file is live and the forest is shutting down — keep it.
   if (!retired_.load(std::memory_order_relaxed) ||
       leaked_.load(std::memory_order_relaxed)) {
@@ -830,6 +843,14 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
         "forest: quarantined trees must be rebuilt before a refresh");
   }
 
+  // Space preflight: the refresh transiently needs the old and the new
+  // generation (plus sort runs and sidecars) on disk at once. Refuse up
+  // front with a typed, retriable StorageFull naming the shortfall rather
+  // than hit ENOSPC halfway through the merge-pack — the published epoch
+  // keeps serving either way.
+  CT_RETURN_NOT_OK(PreflightRefreshLocked(EstimateRefreshBytes(
+      TotalSizeBytesLocked(), delta_provider->EstimatedInputBytes())));
+
   // Advisory journal: records that a refresh started (and whether it
   // committed), so recovery can report an interrupted refresh. Correctness
   // does not depend on it — the atomic manifest swap and the recovery
@@ -916,6 +937,10 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
     return Status::Unavailable(
         "forest: quarantined trees must be rebuilt before a refresh");
   }
+  // A partial refresh only writes the increment (no repack of the mains),
+  // so the preflight covers the delta trees, their sort runs and sidecars.
+  CT_RETURN_NOT_OK(PreflightRefreshLocked(
+      EstimateRefreshBytes(0, delta_provider->EstimatedInputBytes())));
   // Phase 1: pack each tree's increment into a delta tree file.
   std::vector<std::unique_ptr<PackedRTree>> built(trees_.size());
   std::vector<int64_t> built_generations(trees_.size(), -1);
@@ -1007,6 +1032,10 @@ Status CubetreeForest::Compact() {
 Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
   MutexLock refresh_lock(refresh_mu_);
   if (!HasQuarantineLocked()) return Status::OK();
+  // The rebuild writes fresh full generations of the quarantined trees
+  // from base data; preflight that footprint like any other refresh.
+  CT_RETURN_NOT_OK(PreflightRefreshLocked(
+      EstimateRefreshBytes(0, provider->EstimatedInputBytes())));
   std::vector<size_t> targets;
   for (size_t t = 0; t < trees_.size(); ++t) {
     if (quarantined_[t]) targets.push_back(t);
@@ -1178,11 +1207,95 @@ Result<const ViewDef*> CubetreeForest::view(uint32_t view_id) const {
 
 uint64_t CubetreeForest::TotalSizeBytes() const {
   MutexLock lock(refresh_mu_);
+  return TotalSizeBytesLocked();
+}
+
+uint64_t CubetreeForest::TotalSizeBytesLocked() const {
   uint64_t total = 0;
   for (const auto& tree : trees_) {
     if (tree) total += tree->TotalSizeBytes();
   }
   return total;
+}
+
+uint64_t CubetreeForest::ReclaimSpace() {
+  MutexLock lock(refresh_mu_);
+  return ReclaimSpaceLocked();
+}
+
+uint64_t CubetreeForest::ReclaimSpaceLocked() {
+  // Same classification as Recover's step-4 sweep, with one extra guard:
+  // a file with a live TrackedFile token is referenced by some epoch —
+  // possibly a retired one a reader still pins — and must survive. The GC
+  // counters are left alone; they describe the deferred-unlink backlog,
+  // not this sweep.
+  std::set<std::string> keep;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t] == nullptr) continue;
+    keep.insert(TreePath(t, generations_[t]));
+    for (uint32_t g : delta_generations_[t]) {
+      keep.insert(DeltaPath(t, g));
+    }
+  }
+  {
+    MutexLock gc_lock(gc_->mu);
+    keep.insert(gc_->tracked_paths.begin(), gc_->tracked_paths.end());
+  }
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) return 0;
+  std::vector<std::string> sweep;
+  const std::string& name = options_.name;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string file = entry->d_name;
+    if (!file.starts_with(name)) continue;
+    const std::string path = options_.dir + "/" + file;
+    const bool tree_file =
+        file.starts_with(name + "_t") && file.ends_with(".ctr");
+    const bool sidecar_file =
+        file.starts_with(name + "_t") && file.ends_with(".ctr.crc");
+    const bool sidecar_orphan =
+        sidecar_file &&
+        keep.find(path.substr(0, path.size() - 4)) == keep.end();
+    const bool stale_tmp = file == name + ".manifest.tmp";
+    if ((tree_file && keep.find(path) == keep.end()) || sidecar_orphan ||
+        stale_tmp) {
+      sweep.push_back(path);
+    }
+  }
+  ::closedir(dir);
+  std::sort(sweep.begin(), sweep.end());  // deterministic sweep order
+  uint64_t reclaimed = 0;
+  for (const std::string& path : sweep) {
+    struct stat st;
+    const uint64_t bytes =
+        ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+    Status removed = RemoveFileIfExists(path);
+    if (!removed.ok()) {
+      CT_LOG(Warn) << "forest: space reclaim: " << removed.ToString();
+      continue;
+    }
+    CT_LOG(Info) << "forest: space reclaim: removed " << path << " (" << bytes
+                 << " bytes)";
+    reclaimed += bytes;
+  }
+  return reclaimed;
+}
+
+Status CubetreeForest::PreflightRefreshLocked(uint64_t estimated_bytes) {
+  DiskSpaceManager disk(
+      DiskSpaceManager::Options{options_.dir, options_.disk_reserve_bytes});
+  Status space = disk.Preflight(estimated_bytes);
+  if (space.IsStorageFull()) {
+    // Make room before refusing: sweep crash debris and files whose
+    // deferred unlink was vetoed or failed, then probe again.
+    const uint64_t reclaimed = ReclaimSpaceLocked();
+    if (reclaimed > 0) {
+      CT_LOG(Info) << "forest: refresh preflight reclaimed " << reclaimed
+                   << " bytes, re-probing";
+      space = disk.Preflight(estimated_bytes);
+    }
+  }
+  return space;
 }
 
 uint64_t CubetreeForest::TotalPoints() const {

@@ -17,6 +17,7 @@
 #include "cubetree/view_def.h"
 #include "sort/external_sorter.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk_space.h"
 
 namespace cubetree {
 
@@ -45,6 +46,10 @@ struct GcShared {
   std::set<uint64_t> pinned_retired_epochs GUARDED_BY(mu);
   uint64_t unreclaimed_files GUARDED_BY(mu) = 0;
   uint64_t reclaimed_files GUARDED_BY(mu) = 0;
+  /// Paths with a live TrackedFile token (referenced by some epoch, live or
+  /// pinned-retired). The online space-reclaim sweep must never unlink
+  /// these: a pinned reader may still be reading them.
+  std::set<std::string> tracked_paths GUARDED_BY(mu);
 };
 
 /// One on-disk tree file tracked for epoch-based reclamation. Every epoch
@@ -186,6 +191,9 @@ class CubetreeForest {
     /// running SelectMapping. Costs extra non-leaf/metadata pages and
     /// lowers the buffer hit ratio on the trees' upper levels.
     bool one_tree_per_view = false;
+    /// Free space left untouched on the volume by the refresh preflight
+    /// (default from CUBETREE_DISK_RESERVE_BYTES; see DiskSpaceManager).
+    uint64_t disk_reserve_bytes = DiskSpaceManager::ReserveBytesFromEnv();
   };
 
   /// Supplies, per view, the stream of its aggregate tuples — fixed-width
@@ -197,6 +205,10 @@ class CubetreeForest {
     virtual ~ViewDataProvider() = default;
     virtual Result<std::unique_ptr<RecordStream>> OpenViewStream(
         const ViewDef& view) = 0;
+    /// Best-effort total byte count of all streams this provider will
+    /// supply, for the refresh disk-space preflight. 0 means unknown (the
+    /// preflight then only covers repacking the live trees).
+    virtual uint64_t EstimatedInputBytes() const { return 0; }
   };
 
   static Result<std::unique_ptr<CubetreeForest>> Create(
@@ -327,6 +339,14 @@ class CubetreeForest {
   /// Snapshot-layer GC counters (epochs pinned, files awaiting reclaim).
   ForestGcStats GcStats() const;
 
+  /// Online counterpart of recovery's orphan sweep: deletes this forest's
+  /// on-disk files that are neither part of the live state nor tracked by
+  /// any epoch still pinning them — crash debris from an earlier run, or
+  /// files whose deferred unlink was vetoed or failed. Safe while queries
+  /// serve. Returns the bytes reclaimed. The refresh preflight calls this
+  /// automatically before refusing for lack of space.
+  uint64_t ReclaimSpace() EXCLUDES(refresh_mu_);
+
   /// Paths of every file the published generation references (main trees
   /// and pending deltas). Anything else matching the forest's file naming
   /// on disk is retired-but-unreclaimed or crash-orphaned; ctfsck reports
@@ -388,6 +408,14 @@ class CubetreeForest {
   /// tokens for files still live, retires tokens for files this generation
   /// dropped, and swaps the atomic pointer.
   void PublishState() REQUIRES(refresh_mu_);
+  /// Disk-space preflight for a refresh estimated at `estimated_bytes`:
+  /// probe the volume, and when short first run the online reclaim sweep
+  /// and re-probe. StorageFull (typed, retriable, naming the shortfall)
+  /// refuses the refresh while the published epoch keeps serving.
+  Status PreflightRefreshLocked(uint64_t estimated_bytes)
+      REQUIRES(refresh_mu_);
+  uint64_t ReclaimSpaceLocked() REQUIRES(refresh_mu_);
+  uint64_t TotalSizeBytesLocked() const REQUIRES(refresh_mu_);
   /// Lock-held variants of the quarantine accessors, for use inside
   /// mutators that already hold refresh_mu_.
   size_t NumQuarantinedTreesLocked() const REQUIRES(refresh_mu_);

@@ -93,7 +93,9 @@ Status CubetreeEngine::RebuildQuarantined(ComputedViews* data) {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
-  CT_RETURN_NOT_OK(forest_->RebuildQuarantined(data));
+  CT_RETURN_NOT_OK(
+      GatedWrite(EstimateRefreshBytes(0, data->EstimatedInputBytes()),
+                 [&] { return forest_->RebuildQuarantined(data); }));
   CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
   return Status::OK();
 }
@@ -186,7 +188,8 @@ Status CubetreeEngine::RepairFromReplicas() {
   // Drop the pin before the rebuild publishes new generations, so the
   // quarantined files it retires can be reclaimed promptly.
   snapshot.Release();
-  CT_RETURN_NOT_OK(forest_->RebuildQuarantined(&provider));
+  CT_RETURN_NOT_OK(GatedWrite(
+      0, [&] { return forest_->RebuildQuarantined(&provider); }));
   CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
   static obs::Counter* const repairs =
       obs::MetricsRegistry::Instance().GetCounter("engine.replica_repairs");
@@ -212,6 +215,17 @@ Status CubetreeEngine::Load(const std::vector<ViewDef>& views,
   return Status::OK();
 }
 
+Status CubetreeEngine::GatedWrite(uint64_t estimated_bytes,
+                                  const std::function<Status()>& write) {
+  CT_RETURN_NOT_OK(degraded_.AdmitWrite(estimated_bytes));
+  Status status = write();
+  // A StorageFull that slipped past the preflight (the volume filled while
+  // the refresh ran) flips the engine read-only; queries keep serving the
+  // still-published epoch.
+  degraded_.OnWriteStatus(status);
+  return status;
+}
+
 Status CubetreeEngine::ApplyDelta(ComputedViews* delta) {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
@@ -219,21 +233,25 @@ Status CubetreeEngine::ApplyDelta(ComputedViews* delta) {
   // Per-view row counts are not tracked inside the trees after a merge;
   // the stale counts only influence the routing heuristic, which stays
   // stable under proportional growth.
-  return forest_->ApplyDelta(delta);
+  return GatedWrite(EstimateRefreshBytes(forest_->TotalSizeBytes(),
+                                         delta->EstimatedInputBytes()),
+                    [&] { return forest_->ApplyDelta(delta); });
 }
 
 Status CubetreeEngine::ApplyDeltaPartial(ComputedViews* delta) {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
-  return forest_->ApplyDeltaPartial(delta);
+  return GatedWrite(EstimateRefreshBytes(0, delta->EstimatedInputBytes()),
+                    [&] { return forest_->ApplyDeltaPartial(delta); });
 }
 
 Status CubetreeEngine::Compact() {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
-  return forest_->Compact();
+  return GatedWrite(EstimateRefreshBytes(forest_->TotalSizeBytes(), 0),
+                    [&] { return forest_->Compact(); });
 }
 
 double CubetreeEngine::EstimateCost(const ViewDef& view,

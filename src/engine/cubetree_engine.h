@@ -9,6 +9,7 @@
 #include "cubetree/forest.h"
 #include "cubetree/view_def.h"
 #include "engine/admission.h"
+#include "engine/degraded.h"
 #include "engine/view_store.h"
 #include "olap/cube_builder.h"
 #include "storage/buffer_pool.h"
@@ -105,9 +106,25 @@ class CubetreeEngine : public ViewStore {
   uint64_t StorageBytes() const override;
   CubetreeForest* forest() { return forest_.get(); }
 
+  /// Disk-full circuit breaker. Every mutator above passes through it:
+  /// after a StorageFull the engine serves queries read-only, rejects
+  /// refreshes with a retry-after hint, and recovers automatically when a
+  /// probe sees usable space again. Wire its SetOnModeChange hook to the
+  /// scrubber's SetRepairPaused so repairs pause while read-only.
+  DegradedModeController* degraded() { return &degraded_; }
+
  private:
   CubetreeEngine(const CubeSchema& schema, Options options, BufferPool* pool)
-      : schema_(schema), options_(std::move(options)), pool_(pool) {}
+      : schema_(schema),
+        options_(std::move(options)),
+        pool_(pool),
+        degraded_(DegradedModeController::Options{options_.dir}) {}
+
+  /// Shared mutator gate: admit through the degraded-mode controller, run
+  /// the refresh, and feed its outcome back (a StorageFull flips the
+  /// engine read-only).
+  Status GatedWrite(uint64_t estimated_bytes,
+                    const std::function<Status()>& write);
 
   /// Estimated tuples touched answering `query` from `view`: the packing
   /// sort order is (last attr, ..., first attr), so predicates binding a
@@ -127,6 +144,7 @@ class CubetreeEngine : public ViewStore {
   CubeSchema schema_;
   Options options_;
   BufferPool* pool_;
+  DegradedModeController degraded_;
   std::unique_ptr<CubetreeForest> forest_;
   std::map<uint32_t, uint64_t> view_rows_;
 };

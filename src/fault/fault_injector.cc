@@ -34,6 +34,8 @@ const FaultInjector::PointInfo kRegistry[] = {
     {"rtree.build.start", "start of a packed R-tree bulk build"},
     {"rtree.build.sync", "fsync of a freshly built R-tree file"},
     {"storage.checksum.finalize", "writing a page file's checksum sidecar"},
+    {"disk.probe", "statvfs free-space probe of the store's volume"},
+    {"disk.preflight", "refresh disk-space preflight (forced refusal)"},
     {"forest.manifest.create", "creating the manifest tmp file"},
     {"forest.manifest.write", "writing the manifest tmp contents"},
     {"forest.manifest.sync", "fsync of the manifest tmp file"},
@@ -92,10 +94,14 @@ Result<FaultSpec> ParseSpec(const std::string& failpoint,
     spec.action = FaultAction::kBitflip;
   } else if (body == "corrupt_page") {
     spec.action = FaultAction::kCorruptPage;
+  } else if (body == "enospc") {
+    spec.action = FaultAction::kEnospc;
+  } else if (body == "short_write") {
+    spec.action = FaultAction::kShortWrite;
   } else {
     return BadSpec(failpoint, text,
-                   "action must be error, torn, crash, throw, bitflip or "
-                   "corrupt_page");
+                   "action must be error, torn, crash, throw, bitflip, "
+                   "corrupt_page, enospc or short_write");
   }
   return spec;
 }
@@ -112,6 +118,10 @@ Result<FaultSpec> ParseSpec(const std::string& failpoint,
 
 Status FaultOutcome::ToStatus() const {
   if (!fail) return Status::OK();
+  if (enospc || short_write) {
+    return Status::StorageFull("injected disk full at " + failpoint +
+                               (short_write ? " (short write)" : ""));
+  }
   return Status::IOError("injected fault at " + failpoint +
                          (torn ? " (torn write)" : ""));
 }
@@ -250,6 +260,14 @@ FaultOutcome FaultInjector::Check(const char* failpoint) {
       return outcome;
     case FaultAction::kCorruptPage:
       outcome.corrupt_page = true;
+      return outcome;
+    case FaultAction::kEnospc:
+      outcome.enospc = true;
+      outcome.fail = true;
+      return outcome;
+    case FaultAction::kShortWrite:
+      outcome.short_write = true;
+      outcome.fail = true;
       return outcome;
   }
   return outcome;

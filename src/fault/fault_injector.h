@@ -55,6 +55,12 @@ enum class FaultAction : int {
   /// successful read: the analog of a misdirected read returning another
   /// block's contents.
   kCorruptPage,
+  /// Return an injected StorageFull from the instrumented call, as if the
+  /// syscall had failed with ENOSPC before writing anything.
+  kEnospc,
+  /// Short page write: the storage layer persists only a prefix of the
+  /// page before returning StorageFull — the volume filled up mid-page.
+  kShortWrite,
 };
 
 /// When and how often a failpoint fires.
@@ -79,10 +85,16 @@ struct FaultOutcome {
   /// combined with `fail` — silent corruption is the point.
   bool bitflip = false;
   bool corrupt_page = false;
+  /// Disk-full actions: `enospc` fails with nothing persisted;
+  /// `short_write` asks the storage layer to persist a page prefix first
+  /// (both set `fail` and map to StorageFull).
+  bool enospc = false;
+  bool short_write = false;
   std::string failpoint;
 
-  /// OK, or the injected IOError for this failpoint. Bitflip/corrupt_page
-  /// outcomes map to OK: the injected damage is silent by design.
+  /// OK, or the injected error for this failpoint: StorageFull for the
+  /// disk-full actions, IOError otherwise. Bitflip/corrupt_page outcomes
+  /// map to OK: the injected damage is silent by design.
   Status ToStatus() const;
 };
 
@@ -96,7 +108,7 @@ struct FaultOutcome {
 ///
 /// Spec grammar per failpoint: ACTION[(MAX_TRIGGERS)][@TRIGGER_ON_HIT]
 /// with ACTION one of error | torn | crash | throw | bitflip |
-/// corrupt_page. Examples:
+/// corrupt_page | enospc | short_write. Examples:
 ///   error        every hit fails
 ///   error(2)     transient: the first two hits fail, later hits succeed
 ///   torn         half a page is persisted, then an IOError is returned
@@ -106,6 +118,9 @@ struct FaultOutcome {
 ///   bitflip      every read silently returns one flipped bit
 ///   bitflip(1)@4 the fourth read is silently corrupted, once
 ///   corrupt_page every read silently returns a whole-page garbage pattern
+///   enospc       every hit fails with StorageFull, nothing persisted
+///   enospc(1)@2  the second hit fails with StorageFull, once
+///   short_write  a page prefix is persisted, then StorageFull is returned
 ///
 /// Thread-safe: hit counters and the armed map are guarded by an internal
 /// mutex, so the stress harness can arm failpoints while reader and

@@ -61,6 +61,14 @@ Result<std::unique_ptr<RecordStream>> ComputedViews::OpenViewStream(
   return std::unique_ptr<RecordStream>(std::move(reader));
 }
 
+uint64_t ComputedViews::EstimatedInputBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.spool != nullptr) total += entry.spool->FileSizeBytes();
+  }
+  return total;
+}
+
 Result<RecordSpool*> ComputedViews::spool(uint32_t view_id) {
   auto it = entries_.find(view_id);
   if (it == entries_.end()) {

@@ -72,6 +72,9 @@ class ComputedViews : public CubetreeForest::ViewDataProvider {
  public:
   Result<std::unique_ptr<RecordStream>> OpenViewStream(
       const ViewDef& view) override;
+  /// Sum of the sealed spool files' sizes — an exact byte count of what
+  /// the streams will supply, feeding the refresh disk-space preflight.
+  uint64_t EstimatedInputBytes() const override;
 
   Result<RecordSpool*> spool(uint32_t view_id);
   Result<uint64_t> row_count(uint32_t view_id) const;

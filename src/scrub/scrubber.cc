@@ -71,6 +71,20 @@ std::unique_ptr<Scrubber> Scrubber::CreateFromEnv(CubetreeForest* forest,
   return std::make_unique<Scrubber>(forest, options, std::move(repair));
 }
 
+bool Scrubber::TryRepair(uint32_t first_view_id) {
+  if (!repair_) return false;
+  if (repair_paused_.load(std::memory_order_relaxed)) {
+    // Degraded (disk-full) mode: rebuilding a tree writes a fresh
+    // generation, which would only dig the hole deeper. The quarantine
+    // already keeps wrong answers off the wire; the rebuild waits for
+    // space to return.
+    CT_LOG(Warn) << "scrub: repair paused (degraded mode), view "
+                 << first_view_id << " stays quarantined";
+    return false;
+  }
+  return repair_().ok() && !forest_->IsViewQuarantined(first_view_id);
+}
+
 void Scrubber::ScrubFile(const std::string& path, uint32_t first_view_id,
                          ScrubPassStats* stats) {
   const ScrubMetrics& m = ScrubMetrics::Get();
@@ -100,10 +114,7 @@ void Scrubber::ScrubFile(const std::string& path, uint32_t first_view_id,
                  << cs.ToString();
     auto q = forest_->QuarantineForCorruption(first_view_id, path, cs);
     if (!q.ok() || !q.value()) return;
-    bool repaired = false;
-    if (repair_) {
-      repaired = repair_().ok() && !forest_->IsViewQuarantined(first_view_id);
-    }
+    const bool repaired = TryRepair(first_view_id);
     if (repaired) {
       ++stats->corruptions_repaired;
       m.corruptions_repaired->Increment();
@@ -159,11 +170,7 @@ void Scrubber::ScrubFile(const std::string& path, uint32_t first_view_id,
       return;
     }
     if (q.value()) {
-      bool repaired = false;
-      if (repair_) {
-        repaired =
-            repair_().ok() && !forest_->IsViewQuarantined(first_view_id);
-      }
+      const bool repaired = TryRepair(first_view_id);
       if (repaired) {
         ++stats->corruptions_repaired;
         m.corruptions_repaired->Increment();

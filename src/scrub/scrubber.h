@@ -89,8 +89,22 @@ class Scrubber {
     return passes_.load(std::memory_order_relaxed);
   }
 
+  /// Pauses (or resumes) the repair callback without stopping scanning.
+  /// While paused, corruption is still detected and quarantined — reads
+  /// stay safe — but no rebuild is attempted: repair writes fresh tree
+  /// generations, which is exactly what a disk-full degraded mode must not
+  /// do. Findings made while paused count as unrepairable.
+  void SetRepairPaused(bool paused) {
+    repair_paused_.store(paused, std::memory_order_relaxed);
+  }
+  bool repair_paused() const {
+    return repair_paused_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Run();
+  /// The repair callback, gated by the pause switch.
+  bool TryRepair(uint32_t first_view_id);
   /// Scrubs one data file; `first_view_id` identifies the owning tree for
   /// quarantine. Updates `*stats` in place.
   void ScrubFile(const std::string& path, uint32_t first_view_id,
@@ -100,6 +114,7 @@ class Scrubber {
   ScrubOptions options_;
   RepairFn repair_;
   std::atomic<uint64_t> passes_{0};
+  std::atomic<bool> repair_paused_{false};
 
   Mutex mu_;
   CondVar cv_;

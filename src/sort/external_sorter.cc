@@ -209,7 +209,16 @@ Status ExternalSorter::SpillRun() {
     page.Zero();
     const size_t batch = std::min(per_page, n - written);
     std::memcpy(page.data, buffer_.data() + written * rs, batch * rs);
-    CT_RETURN_NOT_OK(file->AppendPage(page).status());
+    Status appended = file->AppendPage(page).status();
+    if (!appended.ok()) {
+      // The run is registered in run_paths_ only after a complete write,
+      // so nothing else would ever delete this partial file — not even
+      // the destructor's leak log. Remove it now, under the typed error
+      // (StorageFull on a full disk) that the caller sees.
+      file.reset();
+      (void)RemoveFileIfExists(path);  // Best effort beneath the error.
+      return appended;
+    }
     written += batch;
   }
   run_record_counts_.push_back(n);
@@ -243,22 +252,34 @@ Status ExternalSorter::MergeRunRange(size_t begin, size_t end) {
   const size_t per_page = kPageSize / rs;
   std::string path = NextRunPath(options_.temp_dir);
   CT_ASSIGN_OR_RETURN(auto file, PageManager::Create(path, options_.io_stats));
-  Page page;
-  page.Zero();
-  size_t in_page = 0;
-  const char* record = nullptr;
-  while (true) {
-    CT_RETURN_NOT_OK(merged.Next(&record));
-    if (record == nullptr) break;
-    std::memcpy(page.data + in_page * rs, record, rs);
-    if (++in_page == per_page) {
-      CT_RETURN_NOT_OK(file->AppendPage(page).status());
-      page.Zero();
-      in_page = 0;
+  const auto write_merged = [&]() -> Status {
+    Page page;
+    page.Zero();
+    size_t in_page = 0;
+    const char* record = nullptr;
+    while (true) {
+      CT_RETURN_NOT_OK(merged.Next(&record));
+      if (record == nullptr) break;
+      std::memcpy(page.data + in_page * rs, record, rs);
+      if (++in_page == per_page) {
+        CT_RETURN_NOT_OK(file->AppendPage(page).status());
+        page.Zero();
+        in_page = 0;
+      }
     }
-  }
-  if (in_page > 0) {
-    CT_RETURN_NOT_OK(file->AppendPage(page).status());
+    if (in_page > 0) {
+      CT_RETURN_NOT_OK(file->AppendPage(page).status());
+    }
+    return Status::OK();
+  };
+  Status wrote = write_merged();
+  if (!wrote.ok()) {
+    // Same discipline as SpillRun: the partial output is invisible to the
+    // destructor until it lands in run_paths_, so delete it eagerly. The
+    // input runs stay intact for a retry.
+    file.reset();
+    (void)RemoveFileIfExists(path);  // Best effort beneath the error.
+    return wrote;
   }
 
   // Retire the merged inputs; append the combined run.

@@ -42,7 +42,7 @@ Status WriteChecksumSidecar(const std::string& data_path,
 
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) {
-    return Status::IOError("create " + path + ": " + std::strerror(errno));
+    return ErrnoToStatus(errno, "create " + path);
   }
   Status status = PwriteFully(fd, blob.data(), blob.size(), 0, path);
   if (status.ok()) {

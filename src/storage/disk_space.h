@@ -1,0 +1,79 @@
+#ifndef CUBETREE_STORAGE_DISK_SPACE_H_
+#define CUBETREE_STORAGE_DISK_SPACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cubetree {
+
+/// One observation of the volume backing a directory.
+struct DiskSpaceInfo {
+  /// Bytes available to unprivileged writers (statvfs f_bavail * f_frsize).
+  uint64_t free_bytes = 0;
+  /// Configured reserve the store refuses to dip into.
+  uint64_t reserve_bytes = 0;
+  /// Free space the store may actually consume.
+  uint64_t usable_bytes() const {
+    return free_bytes > reserve_bytes ? free_bytes - reserve_bytes : 0;
+  }
+};
+
+/// Space accounting for refreshes. A bulk-incremental refresh transiently
+/// needs the old AND the new generation on disk (plus sort runs and
+/// checksum sidecars); running into ENOSPC halfway through wastes the whole
+/// merge-pack and stresses every error path at once. The manager preflights
+/// each refresh instead: probe the volume, subtract a configurable reserve
+/// (CUBETREE_DISK_RESERVE_BYTES), and refuse with a typed StorageFull —
+/// naming the bytes still needed — while the old generation keeps serving.
+class DiskSpaceManager {
+ public:
+  struct Options {
+    /// Directory whose backing volume is probed.
+    std::string dir = ".";
+    /// Bytes of free space left untouched on the volume. The default comes
+    /// from CUBETREE_DISK_RESERVE_BYTES (16 MiB when unset): headroom for
+    /// logs, manifests and the operator's own tooling once the store backs
+    /// off.
+    uint64_t reserve_bytes = ReserveBytesFromEnv();
+  };
+
+  /// Parses CUBETREE_DISK_RESERVE_BYTES; 16 MiB when unset or malformed.
+  static uint64_t ReserveBytesFromEnv();
+
+  explicit DiskSpaceManager(Options options) : options_(std::move(options)) {}
+
+  /// Current free space on the volume backing options.dir. Consults the
+  /// `disk.probe` failpoint so harnesses can fail the probe itself.
+  Result<DiskSpaceInfo> Probe() const;
+
+  /// OK when `estimated_bytes` fit into the usable (free minus reserve)
+  /// space, else StorageFull naming the estimate, the usable space and the
+  /// shortfall. Consults the `disk.preflight` failpoint first, so tests can
+  /// force a refusal on a volume with plenty of room.
+  Status Preflight(uint64_t estimated_bytes) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Projected peak footprint of one bulk-incremental refresh:
+///
+///   packed   = live_tree_bytes + delta_input_bytes   (merge-pack output:
+///              old generation's pages plus roughly the delta's pages)
+///   sidecars = 4 bytes per packed page + header      (.crc files)
+///   runs     = 2 * delta_input_bytes                 (external-sort spill
+///              plus one merge pass, both transient)
+///
+/// Deliberately conservative: the old generation is retired only after the
+/// new one commits, so the peak holds both.
+uint64_t EstimateRefreshBytes(uint64_t live_tree_bytes,
+                              uint64_t delta_input_bytes);
+
+}  // namespace cubetree
+
+#endif  // CUBETREE_STORAGE_DISK_SPACE_H_

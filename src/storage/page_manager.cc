@@ -47,7 +47,7 @@ struct IntegrityMetrics {
 };
 
 Status ErrnoStatus(const std::string& context) {
-  return Status::IOError(context + ": " + std::strerror(errno));
+  return ErrnoToStatus(errno, context);
 }
 
 // Read-path retry policy (see PageManager::SetReadRetryPolicy). Transient
@@ -96,17 +96,38 @@ void BackoffBeforeRetry(int attempt, const QueryContext* ctx) {
 
 }  // namespace
 
+Status ErrnoToStatus(int err, const std::string& context) {
+  // A full volume (or exhausted quota) is not a broken one: keep it typed
+  // so refresh orchestration can back off and retry once space returns.
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::StorageFull(context + ": " + std::strerror(err));
+  }
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
 Status PwriteFully(int fd, const void* buf, size_t count, off_t offset,
                    const std::string& context) {
+  const off_t start_offset = offset;
   const char* cursor = static_cast<const char*>(buf);
   size_t left = count;
   while (left > 0) {
     const ssize_t n = ::pwrite(fd, cursor, left, offset);
     if (n < 0) {
       if (errno == EINTR) continue;  // A signal is not a disk failure.
-      return ErrnoStatus(context);
+      return ErrnoStatus(context + " (offset " +
+                         std::to_string(static_cast<long long>(offset)) + ")");
     }
-    // A short write is not an error from the kernel's point of view;
+    if (n == 0) {
+      // pwrite accepting zero bytes with room left means the volume has
+      // nothing more to give. Name the file and exact byte range, same
+      // shape as PreadFully's short-read finding.
+      return Status::StorageFull(
+          "short write to " + context + ": wanted " + std::to_string(count) +
+          " bytes at offset " +
+          std::to_string(static_cast<long long>(start_offset)) + ", got " +
+          std::to_string(count - left));
+    }
+    // A partial write is not an error from the kernel's point of view;
     // keep writing the remainder rather than failing a multi-hour load.
     cursor += n;
     offset += n;
@@ -416,6 +437,20 @@ Status PageManager::WritePageAt(PageId id, const Page& page,
       (void)PwriteFully(fd_, page.data, kPageSize / 3, offset,
                         "torn pwrite " + path_);
       return outcome.ToStatus();
+    }
+    if (outcome.short_write) {
+      // The volume filled up mid-page: the kernel accepted a prefix and
+      // the retry loop got nothing more. Persist the prefix (the damage a
+      // real ENOSPC leaves behind), then report the exact byte range the
+      // way PwriteFully would.
+      const size_t persisted = kPageSize / 3;
+      (void)PwriteFully(fd_, page.data, persisted, offset,
+                        "short pwrite " + path_);
+      return Status::StorageFull(
+          "short write to pwrite " + path_ + ": wanted " +
+          std::to_string(kPageSize) + " bytes at offset " +
+          std::to_string(static_cast<long long>(offset)) + ", got " +
+          std::to_string(persisted));
     }
     if (outcome.fail) return outcome.ToStatus();
   }

@@ -159,8 +159,15 @@ class PageManager {
 /// reset workspaces.
 Status RemoveFileIfExists(const std::string& path);
 
-/// pwrite(2) the full buffer at `offset`, looping over short writes and
+/// Maps an errno from a write-side syscall to a typed Status: ENOSPC and
+/// EDQUOT become the retriable StorageFull, everything else IOError.
+/// `context` labels the message (usually the operation plus file path).
+Status ErrnoToStatus(int err, const std::string& context);
+
+/// pwrite(2) the full buffer at `offset`, looping over partial writes and
 /// retrying EINTR. `context` labels errors (usually the file path).
+/// ENOSPC/EDQUOT — and a pwrite that accepts zero bytes with data left —
+/// surface as StorageFull naming the path, offset, wanted and got bytes.
 Status PwriteFully(int fd, const void* buf, size_t count, off_t offset,
                    const std::string& context);
 

@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/rng.h"
+#include "fault/fault_injector.h"
 #include "sort/external_sorter.h"
 #include "sort/loser_tree.h"
 #include "sort/spool.h"
@@ -166,6 +167,61 @@ TEST(ExternalSorterTest, DestructorRemovesSpilledRunFiles) {
     ADD_FAILURE() << "leaked run file: " << entry.path();
   }
   EXPECT_EQ(leftover, 0u);
+}
+
+TEST(ExternalSorterTest, SpillFailureLeavesNoPartialRunFile) {
+  const std::string dir = MakeTestDir("sort_spill_enospc");
+  {
+    ExternalSorter sorter(SmallSorterOptions(dir, 4, 400), U32Less());
+    // Fail the page append inside the first spill. The run is registered
+    // for cleanup only after a complete write, so the partial file used to
+    // be invisible even to the destructor's leak sweep; the error path
+    // must delete it eagerly and surface the typed disk-full status.
+    ASSERT_OK(
+        FaultInjector::Instance().Arm("storage.page.append", "enospc"));
+    Rng rng(7);
+    char buf[4];
+    Status status = Status::OK();
+    for (int i = 0; i < 2000 && status.ok(); ++i) {
+      EncodeFixed32(buf, static_cast<uint32_t>(rng.Uniform(1u << 30)));
+      status = sorter.Add(buf);
+    }
+    EXPECT_TRUE(status.IsStorageFull()) << status.ToString();
+    FaultInjector::Instance().DisarmAll();
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ADD_FAILURE() << "leaked run file: " << entry.path();
+  }
+}
+
+TEST(ExternalSorterTest, MergeFailureKeepsInputRunsAndNoPartialOutput) {
+  const std::string dir = MakeTestDir("sort_merge_enospc");
+  {
+    ExternalSorter::Options options = SmallSorterOptions(dir, 4, 400);
+    options.max_merge_fanin = 2;  // Merges kick in while adding.
+    ExternalSorter sorter(options, U32Less());
+    // Each 100-record run spills as one page, and the fourth spill
+    // triggers ReduceRuns, whose merged output is the fifth page append:
+    // let the spills succeed and fail the merge output's first page. The
+    // partial merged file must be deleted while the input runs survive
+    // registered for the destructor's cleanup.
+    ASSERT_OK(
+        FaultInjector::Instance().Arm("storage.page.append", "enospc@5"));
+    Rng rng(13);
+    char buf[4];
+    Status status = Status::OK();
+    for (int i = 0; i < 4000 && status.ok(); ++i) {
+      EncodeFixed32(buf, static_cast<uint32_t>(rng.Uniform(1u << 30)));
+      status = sorter.Add(buf);
+    }
+    EXPECT_TRUE(status.IsStorageFull()) << status.ToString();
+    FaultInjector::Instance().DisarmAll();
+  }
+  // The destructor removed the registered input runs; nothing — neither
+  // they nor a partial merge output — may remain.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ADD_FAILURE() << "leaked run file: " << entry.path();
+  }
 }
 
 TEST(ExternalSorterTest, DuplicateKeysSurvive) {

@@ -379,5 +379,47 @@ TEST(WalTest, TolerantReplayAfterTornAppend) {
   for (const std::string& r : replayed) EXPECT_EQ(r, record);
 }
 
+TEST(WalTest, StrictAndTolerantReplayAfterEnospcAppend) {
+  const std::string dir = MakeTestDir("wal_enospc_append");
+  const std::string path = dir + "/w.wal";
+  const std::string record(64, 'e');
+  ASSERT_OK_AND_ASSIGN(auto wal, WriteAheadLog::Create(path));
+  constexpr uint64_t kCommitted = 5;
+  for (uint64_t i = 0; i < kCommitted; ++i) {
+    ASSERT_OK(wal->LogRecord(record.data(), record.size()));
+  }
+  ASSERT_OK(wal->Force());  // The committed prefix, durable on disk.
+
+  // The volume fills: every further page append fails with StorageFull and
+  // persists nothing (ENOSPC before the write, unlike a torn append).
+  ASSERT_OK(FaultInjector::Instance().Arm("storage.page.append", "enospc"));
+  Status status = Status::OK();
+  while (status.ok()) {
+    status = wal->LogRecord(record.data(), record.size());
+  }
+  EXPECT_TRUE(status.IsStorageFull()) << status.ToString();
+  FaultInjector::Instance().DisarmAll();
+  wal.reset();
+
+  // Nothing after the Force() reached disk, so the file still ends exactly
+  // at the page boundary the flush left: even strict Replay — which
+  // rejects ragged files outright — recovers the committed prefix, and
+  // tolerant replay agrees without reporting a torn tail.
+  for (const bool tolerant : {false, true}) {
+    std::vector<std::string> replayed;
+    const auto apply = [&](const char* d, size_t n) {
+      replayed.emplace_back(d, n);
+    };
+    auto stats = tolerant ? WriteAheadLog::ReplayTolerant(path, apply)
+                          : WriteAheadLog::Replay(path, apply);
+    ASSERT_TRUE(stats.ok()) << (tolerant ? "tolerant" : "strict") << ": "
+                            << stats.status().ToString();
+    EXPECT_FALSE(stats->torn);
+    EXPECT_EQ(stats->records, kCommitted);
+    ASSERT_EQ(replayed.size(), kCommitted);
+    for (const std::string& r : replayed) EXPECT_EQ(r, record);
+  }
+}
+
 }  // namespace
 }  // namespace cubetree
