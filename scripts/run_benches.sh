@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Runs the four headline benchmarks (the paper's query, load, update and
-# storage comparisons) and collects their machine-readable results as
-#   BENCH_queries.json  BENCH_load.json  BENCH_updates.json  BENCH_storage.json
+# Runs the headline benchmarks (the paper's query, load, update and
+# storage comparisons, plus the parallel-refresh scalability sweep) and
+# collects their machine-readable results as
+#   BENCH_queries.json  BENCH_load.json  BENCH_updates.json
+#   BENCH_storage.json  BENCH_refresh_parallel.json
 # in the output directory. Each file follows the bench::JsonWriter envelope
 # (schema_version, bench, config, wall_seconds, modeled_disk_seconds, io,
 # metrics, results) — see DESIGN.md section 10.
@@ -88,9 +90,10 @@ run_one bench_queries queries
 run_one bench_load load
 run_one bench_updates updates
 run_one bench_storage storage
+run_one bench_refresh_parallel refresh_parallel
 
 if [ "$failures" -ne 0 ]; then
   echo "run_benches.sh: $failures benchmark(s) failed" >&2
   exit 1
 fi
-echo "run_benches.sh: all results written to $OUT_DIR/BENCH_{queries,load,updates,storage}.json"
+echo "run_benches.sh: all results written to $OUT_DIR/BENCH_{queries,load,updates,storage,refresh_parallel}.json"

@@ -103,7 +103,7 @@ Status ForestChecker::Run(CheckReport* report) {
   uint64_t scanned_total = 0;
   uint64_t meta_total = 0;
   for (size_t t = 0; t < forest->num_trees(); ++t) {
-    Cubetree* tree = forest->tree(t);
+    std::shared_ptr<Cubetree> tree = forest->tree(t);
     std::set<uint32_t> planned(plan.trees[t].view_ids.begin(),
                                plan.trees[t].view_ids.end());
     std::set<uint32_t> present;
@@ -244,7 +244,7 @@ Status ForestChecker::Run(CheckReport* report) {
       return view.ok() ? (*view)->arity() : 0;
     };
     for (size_t t = 0; t < forest->num_trees(); ++t) {
-      Cubetree* tree = forest->tree(t);
+      std::shared_ptr<Cubetree> tree = forest->tree(t);
       RTreeChecker main_checker(tree->rtree()->path(), impl_->options,
                                 arity_of);
       CT_RETURN_NOT_OK(main_checker.Run(report));

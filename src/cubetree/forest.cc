@@ -19,6 +19,7 @@
 #include "check/invariant_checker.h"
 #include "common/assert.h"
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "cubetree/merge_pack.h"
 #include "common/timer.h"
 #include "engine/wal.h"
@@ -71,6 +72,30 @@ class MultiViewPointSource : public PointSource {
   std::vector<ViewStream> streams_;
   size_t index_ = 0;
   PointRecord record_;
+};
+
+/// Wraps a PointSource with cooperative cancellation: when a sibling
+/// refresh worker fails, the shared CancelFlag flips and every other
+/// worker's merge-pack aborts at its next poll instead of finishing a tree
+/// that is about to be thrown away. Polling every 1024 records keeps the
+/// per-record cost to a predictable branch.
+class CancellablePointSource : public PointSource {
+ public:
+  CancellablePointSource(PointSource* inner, const CancelFlag* cancel)
+      : inner_(inner), cancel_(cancel) {}
+
+  Status Next(const PointRecord** record) override {
+    if ((++polls_ & 1023u) == 0 && cancel_->cancelled()) {
+      return Status::Cancelled(
+          "forest: refresh cancelled by sibling worker failure");
+    }
+    return inner_->Next(record);
+  }
+
+ private:
+  PointSource* inner_;
+  const CancelFlag* cancel_;
+  uint64_t polls_ = 0;
 };
 
 /// Sets `path` aside under a ".quarantine" suffix. Best effort: a rename
@@ -798,39 +823,72 @@ class ChainedMergeSource {
 Status CubetreeForest::BuildNextGenerations(
     ViewDataProvider* delta_provider, std::vector<uint32_t>* generations,
     std::vector<std::unique_ptr<PackedRTree>>* new_trees) {
-  generations->assign(trees_.size(), 0);
+  const size_t num_trees = trees_.size();
+  generations->assign(num_trees, 0);
   new_trees->clear();
-  new_trees->resize(trees_.size());
-  for (size_t t = 0; t < trees_.size(); ++t) {
-    obs::Span merge_span("refresh.merge_pack");
-    merge_span.Annotate("tree", static_cast<uint64_t>(t));
-    CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
+  new_trees->resize(num_trees);
 
-    // Fold any pending delta trees into the same merge-pack.
-    ScannerPointSource main_source(trees_[t]->rtree());
-    std::vector<std::unique_ptr<ScannerPointSource>> delta_scans;
-    std::vector<PointSource*> inputs = {&main_source};
-    for (size_t d = 0; d < trees_[t]->num_deltas(); ++d) {
-      delta_scans.push_back(
-          std::make_unique<ScannerPointSource>(trees_[t]->delta(d)));
-      inputs.push_back(delta_scans.back().get());
-    }
-    inputs.push_back(delta.get());
-    const uint8_t dims = plan_.trees[t].dims;
-    ChainedMergeSource chain(inputs, dims);
-
-    const uint32_t new_generation = generations_[t] + 1;
-    RTreeOptions tree_options = options_.rtree;
-    tree_options.dims = dims;
-    CT_ASSIGN_OR_RETURN(
-        (*new_trees)[t],
-        PackedRTree::Build(TreePath(t, new_generation), tree_options, pool_,
-                           chain.head(), ArityFn(), io_stats_));
-    (*generations)[t] = new_generation;
-    merge_span.Annotate("points", (*new_trees)[t]->num_points());
-    CT_FAULT("forest.refresh.build");
+  // Prepare the work list serially under refresh_mu_: providers are not
+  // thread-safe (see ViewDataProvider), and the worker lambda must not
+  // touch guarded members — it gets plain-value tasks instead, each owning
+  // its tree handle and pre-opened delta source, and writes into its own
+  // pre-sized output slot.
+  struct TreeTask {
+    std::shared_ptr<Cubetree> tree;
+    std::unique_ptr<PointSource> delta;
+    std::string path;
+    uint32_t new_generation = 0;
+    uint8_t dims = 0;
+  };
+  std::vector<TreeTask> tasks(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    TreeTask& task = tasks[t];
+    task.tree = trees_[t];
+    CT_ASSIGN_OR_RETURN(task.delta, MakeDeltaSource(t, delta_provider));
+    task.new_generation = generations_[t] + 1;
+    task.path = TreePath(t, task.new_generation);
+    task.dims = plan_.trees[t].dims;
   }
-  return Status::OK();
+
+  const auto arity_fn = ArityFn();
+  const RTreeOptions base_rtree = options_.rtree;
+  BufferPool* const pool = pool_;
+  const std::shared_ptr<IoStats> io_stats = io_stats_;
+  // Each worker builds its merge_pack spans in a private child trace and
+  // splices them back under the refresh trace when its task ends.
+  obs::TraceHandoff handoff;
+  return ParallelFor(
+      num_trees, ResolvedRefreshThreads(num_trees),
+      [&](size_t t, CancelFlag* cancel) -> Status {
+        obs::TraceHandoff::Adopt adopt(handoff);
+        TreeTask& task = tasks[t];
+        obs::Span merge_span("refresh.merge_pack");
+        merge_span.Annotate("tree", static_cast<uint64_t>(t));
+
+        // Fold any pending delta trees into the same merge-pack.
+        ScannerPointSource main_source(task.tree->rtree());
+        std::vector<std::unique_ptr<ScannerPointSource>> delta_scans;
+        std::vector<PointSource*> inputs = {&main_source};
+        for (size_t d = 0; d < task.tree->num_deltas(); ++d) {
+          delta_scans.push_back(
+              std::make_unique<ScannerPointSource>(task.tree->delta(d)));
+          inputs.push_back(delta_scans.back().get());
+        }
+        inputs.push_back(task.delta.get());
+        ChainedMergeSource chain(inputs, task.dims);
+        CancellablePointSource source(chain.head(), cancel);
+
+        RTreeOptions tree_options = base_rtree;
+        tree_options.dims = task.dims;
+        CT_ASSIGN_OR_RETURN(
+            (*new_trees)[t],
+            PackedRTree::Build(task.path, tree_options, pool, &source,
+                               arity_fn, io_stats));
+        (*generations)[t] = task.new_generation;
+        merge_span.Annotate("points", (*new_trees)[t]->num_points());
+        CT_FAULT("forest.refresh.build");
+        return Status::OK();
+      });
 }
 
 Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
@@ -849,7 +907,8 @@ Status CubetreeForest::ApplyDelta(ViewDataProvider* delta_provider) {
   // than hit ENOSPC halfway through the merge-pack — the published epoch
   // keeps serving either way.
   CT_RETURN_NOT_OK(PreflightRefreshLocked(EstimateRefreshBytes(
-      TotalSizeBytesLocked(), delta_provider->EstimatedInputBytes())));
+      TotalSizeBytesLocked(), delta_provider->EstimatedInputBytes(),
+      ResolvedRefreshThreads(trees_.size()))));
 
   // Advisory journal: records that a refresh started (and whether it
   // committed), so recovery can report an interrupted refresh. Correctness
@@ -940,36 +999,66 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
   // A partial refresh only writes the increment (no repack of the mains),
   // so the preflight covers the delta trees, their sort runs and sidecars.
   CT_RETURN_NOT_OK(PreflightRefreshLocked(
-      EstimateRefreshBytes(0, delta_provider->EstimatedInputBytes())));
-  // Phase 1: pack each tree's increment into a delta tree file.
-  std::vector<std::unique_ptr<PackedRTree>> built(trees_.size());
-  std::vector<int64_t> built_generations(trees_.size(), -1);
-  auto build_all = [&]() -> Status {
-    for (size_t t = 0; t < trees_.size(); ++t) {
-      obs::Span delta_span("refresh.delta_pack");
-      delta_span.Annotate("tree", static_cast<uint64_t>(t));
-      CT_ASSIGN_OR_RETURN(auto delta, MakeDeltaSource(t, delta_provider));
-      const uint32_t generation = next_delta_generation_[t]++;
-      RTreeOptions tree_options = options_.rtree;
-      tree_options.dims = plan_.trees[t].dims;
-      CT_ASSIGN_OR_RETURN(
-          auto delta_tree,
-          PackedRTree::Build(DeltaPath(t, generation), tree_options, pool_,
-                             delta.get(), ArityFn(), io_stats_));
-      if (delta_tree->num_points() == 0) {
-        // Nothing in this tree's increment; drop the empty file.
-        const std::string path = delta_tree->path();
-        delta_tree.reset();
-        CT_RETURN_NOT_OK(RemoveFileIfExists(path));
-        CT_RETURN_NOT_OK(RemoveChecksumSidecar(path));
-        continue;
-      }
-      built[t] = std::move(delta_tree);
-      built_generations[t] = generation;
+      EstimateRefreshBytes(0, delta_provider->EstimatedInputBytes(),
+                           ResolvedRefreshThreads(trees_.size()))));
+  // Phase 1: pack each tree's increment into a delta tree file, one worker
+  // per tree. The task list (streams, generation numbers) is prepared
+  // serially under refresh_mu_; workers only touch their own task and
+  // their own output slots.
+  const size_t num_trees = trees_.size();
+  std::vector<std::unique_ptr<PackedRTree>> built(num_trees);
+  std::vector<int64_t> built_generations(num_trees, -1);
+  struct DeltaTask {
+    std::unique_ptr<PointSource> delta;
+    std::string path;
+    uint32_t generation = 0;
+    uint8_t dims = 0;
+  };
+  std::vector<DeltaTask> tasks(num_trees);
+  auto prepare_all = [&]() -> Status {
+    for (size_t t = 0; t < num_trees; ++t) {
+      DeltaTask& task = tasks[t];
+      CT_ASSIGN_OR_RETURN(task.delta, MakeDeltaSource(t, delta_provider));
+      task.generation = next_delta_generation_[t]++;
+      task.path = DeltaPath(t, task.generation);
+      task.dims = plan_.trees[t].dims;
     }
     return Status::OK();
   };
-  Status phase = build_all();
+  Status phase = prepare_all();
+  if (phase.ok()) {
+    const auto arity_fn = ArityFn();
+    const RTreeOptions base_rtree = options_.rtree;
+    BufferPool* const pool = pool_;
+    const std::shared_ptr<IoStats> io_stats = io_stats_;
+    obs::TraceHandoff handoff;
+    phase = ParallelFor(
+        num_trees, ResolvedRefreshThreads(num_trees),
+        [&](size_t t, CancelFlag* cancel) -> Status {
+          obs::TraceHandoff::Adopt adopt(handoff);
+          DeltaTask& task = tasks[t];
+          obs::Span delta_span("refresh.delta_pack");
+          delta_span.Annotate("tree", static_cast<uint64_t>(t));
+          CancellablePointSource source(task.delta.get(), cancel);
+          RTreeOptions tree_options = base_rtree;
+          tree_options.dims = task.dims;
+          CT_ASSIGN_OR_RETURN(
+              auto delta_tree,
+              PackedRTree::Build(task.path, tree_options, pool, &source,
+                                 arity_fn, io_stats));
+          if (delta_tree->num_points() == 0) {
+            // Nothing in this tree's increment; drop the empty file.
+            const std::string path = delta_tree->path();
+            delta_tree.reset();
+            CT_RETURN_NOT_OK(RemoveFileIfExists(path));
+            CT_RETURN_NOT_OK(RemoveChecksumSidecar(path));
+            return Status::OK();
+          }
+          built[t] = std::move(delta_tree);
+          built_generations[t] = static_cast<int64_t>(task.generation);
+          return Status::OK();
+        });
+  }
 
   // Phase 2: commit the new delta list durably.
   if (phase.ok()) {
@@ -983,12 +1072,14 @@ Status CubetreeForest::ApplyDeltaPartial(ViewDataProvider* delta_provider) {
     phase = SaveManifestDurable(generations_, next_deltas);
   }
   if (!phase.ok()) {
-    for (size_t t = 0; t < trees_.size(); ++t) {
-      if (built_generations[t] < 0) continue;
-      const std::string path =
-          DeltaPath(t, static_cast<uint32_t>(built_generations[t]));
+    // Clean abort: release and remove every output the workers produced —
+    // completed delta packs and the partial file of a failed or cancelled
+    // worker alike (an unprepared task has an empty path).
+    for (size_t t = 0; t < num_trees; ++t) {
       built[t].reset();
-      RemoveTreeFileBestEffort(path, "partial-refresh abort");
+      if (!tasks[t].path.empty()) {
+        RemoveTreeFileBestEffort(tasks[t].path, "partial-refresh abort");
+      }
     }
     return phase;
   }
@@ -1032,38 +1123,71 @@ Status CubetreeForest::Compact() {
 Status CubetreeForest::RebuildQuarantined(ViewDataProvider* provider) {
   MutexLock refresh_lock(refresh_mu_);
   if (!HasQuarantineLocked()) return Status::OK();
-  // The rebuild writes fresh full generations of the quarantined trees
-  // from base data; preflight that footprint like any other refresh.
-  CT_RETURN_NOT_OK(PreflightRefreshLocked(
-      EstimateRefreshBytes(0, provider->EstimatedInputBytes())));
   std::vector<size_t> targets;
   for (size_t t = 0; t < trees_.size(); ++t) {
     if (quarantined_[t]) targets.push_back(t);
   }
+  // The rebuild writes fresh full generations of the quarantined trees
+  // from base data; preflight that footprint like any other refresh.
+  CT_RETURN_NOT_OK(PreflightRefreshLocked(
+      EstimateRefreshBytes(0, provider->EstimatedInputBytes(),
+                           ResolvedRefreshThreads(targets.size()))));
   // Phase 1: bulk-build a fresh generation of each quarantined tree from
-  // the full view contents the provider supplies.
+  // the full view contents the provider supplies. Streams open serially
+  // (providers are not thread-safe); the builds fan out one per tree.
   std::vector<std::unique_ptr<PackedRTree>> built(trees_.size());
   std::vector<uint32_t> new_generations = generations_;
-  auto build_all = [&]() -> Status {
-    for (size_t t : targets) {
+  struct RebuildTask {
+    size_t t = 0;
+    std::unique_ptr<MultiViewPointSource> source;
+    std::string path;
+    uint32_t generation = 0;
+    uint8_t dims = 0;
+  };
+  std::vector<RebuildTask> tasks(targets.size());
+  auto prepare_all = [&]() -> Status {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const size_t t = targets[i];
       std::vector<MultiViewPointSource::ViewStream> streams;
       for (const ViewDef* view : TreeViewsAscArity(t)) {
         CT_ASSIGN_OR_RETURN(auto stream, provider->OpenViewStream(*view));
         streams.push_back({*view, std::move(stream)});
       }
-      MultiViewPointSource source(std::move(streams));
-      RTreeOptions tree_options = options_.rtree;
-      tree_options.dims = plan_.trees[t].dims;
-      const uint32_t generation = generations_[t] + 1;
-      CT_ASSIGN_OR_RETURN(
-          built[t],
-          PackedRTree::Build(TreePath(t, generation), tree_options, pool_,
-                             &source, ArityFn(), io_stats_));
-      new_generations[t] = generation;
+      RebuildTask& task = tasks[i];
+      task.t = t;
+      task.source =
+          std::make_unique<MultiViewPointSource>(std::move(streams));
+      task.generation = generations_[t] + 1;
+      task.path = TreePath(t, task.generation);
+      task.dims = plan_.trees[t].dims;
     }
     return Status::OK();
   };
-  Status phase = build_all();
+  Status phase = prepare_all();
+  if (phase.ok()) {
+    const auto arity_fn = ArityFn();
+    const RTreeOptions base_rtree = options_.rtree;
+    BufferPool* const pool = pool_;
+    const std::shared_ptr<IoStats> io_stats = io_stats_;
+    obs::TraceHandoff handoff;
+    phase = ParallelFor(
+        tasks.size(), ResolvedRefreshThreads(tasks.size()),
+        [&](size_t i, CancelFlag* cancel) -> Status {
+          obs::TraceHandoff::Adopt adopt(handoff);
+          RebuildTask& task = tasks[i];
+          obs::Span rebuild_span("refresh.rebuild_pack");
+          rebuild_span.Annotate("tree", static_cast<uint64_t>(task.t));
+          CancellablePointSource source(task.source.get(), cancel);
+          RTreeOptions tree_options = base_rtree;
+          tree_options.dims = task.dims;
+          CT_ASSIGN_OR_RETURN(
+              built[task.t],
+              PackedRTree::Build(task.path, tree_options, pool, &source,
+                                 arity_fn, io_stats));
+          new_generations[task.t] = task.generation;
+          return Status::OK();
+        });
+  }
   if (phase.ok()) {
     phase = SaveManifestDurable(new_generations, delta_generations_);
   }
@@ -1184,7 +1308,8 @@ size_t CubetreeForest::TotalDeltas() const {
   return total;
 }
 
-Result<Cubetree*> CubetreeForest::TreeForView(uint32_t view_id) {
+Result<std::shared_ptr<Cubetree>> CubetreeForest::TreeForView(
+    uint32_t view_id) {
   auto it = plan_.view_to_tree.find(view_id);
   if (it == plan_.view_to_tree.end()) {
     return Status::NotFound("forest: view not materialized");
@@ -1194,7 +1319,7 @@ Result<Cubetree*> CubetreeForest::TreeForView(uint32_t view_id) {
     return Status::Unavailable("forest: view " + std::to_string(view_id) +
                                " is quarantined awaiting rebuild");
   }
-  return trees_[it->second].get();
+  return trees_[it->second];
 }
 
 Result<const ViewDef*> CubetreeForest::view(uint32_t view_id) const {
@@ -1279,6 +1404,20 @@ uint64_t CubetreeForest::ReclaimSpaceLocked() {
     reclaimed += bytes;
   }
   return reclaimed;
+}
+
+unsigned CubetreeForest::ResolvedRefreshThreads(size_t num_tasks) const {
+  const unsigned configured = options_.refresh_threads != 0
+                                  ? options_.refresh_threads
+                                  : RefreshThreadsFromEnv();
+  if (num_tasks == 0) return 1;
+  return static_cast<unsigned>(
+      std::min<size_t>(std::max(configured, 1u), num_tasks));
+}
+
+unsigned CubetreeForest::RefreshConcurrency() const {
+  MutexLock lock(refresh_mu_);
+  return ResolvedRefreshThreads(trees_.size());
 }
 
 Status CubetreeForest::PreflightRefreshLocked(uint64_t estimated_bytes) {

@@ -194,12 +194,23 @@ class CubetreeForest {
     /// Free space left untouched on the volume by the refresh preflight
     /// (default from CUBETREE_DISK_RESERVE_BYTES; see DiskSpaceManager).
     uint64_t disk_reserve_bytes = DiskSpaceManager::ReserveBytesFromEnv();
+    /// Worker-pool width for refresh merge-packing: each Cubetree of the
+    /// forest is packed by its own worker (the trees are disjoint by
+    /// SelectMapping), capped at the number of trees. 0 resolves from
+    /// CUBETREE_REFRESH_THREADS, falling back to hardware_concurrency.
+    unsigned refresh_threads = 0;
   };
 
   /// Supplies, per view, the stream of its aggregate tuples — fixed-width
   /// ViewRecordBytes(arity) records sorted in the view's pack order
   /// (ViewRecordCompare). The cube builder implements this on top of view
   /// spools; tests implement it over vectors.
+  ///
+  /// Thread contract: the forest calls OpenViewStream serially from the
+  /// refreshing thread (providers need not be thread-safe), but during a
+  /// parallel refresh the returned streams of *different* trees are
+  /// consumed concurrently — each stream is read by exactly one worker, so
+  /// streams must not share mutable state with each other.
   class ViewDataProvider {
    public:
     virtual ~ViewDataProvider() = default;
@@ -313,15 +324,20 @@ class CubetreeForest {
     MutexLock lock(refresh_mu_);
     return trees_.size();
   }
-  /// nullptr when tree `i` is quarantined. Like the other direct
-  /// accessors, a single-threaded convenience: the returned pointer is
-  /// only stable while no refresh commits.
-  Cubetree* tree(size_t i) EXCLUDES(refresh_mu_) {
+  /// nullptr when tree `i` is quarantined. Returns the shared_ptr, not a
+  /// raw pointer: a refresh publishing concurrently swaps trees_[i], and a
+  /// raw pointer handed out before the swap would dangle the moment the
+  /// last pinning epoch died. The returned handle keeps the tree (and its
+  /// open file) alive even across a concurrent publish; the tree may just
+  /// no longer be the serving generation. Multi-tree consistency still
+  /// requires AcquireSnapshot().
+  std::shared_ptr<Cubetree> tree(size_t i) EXCLUDES(refresh_mu_) {
     MutexLock lock(refresh_mu_);
-    return trees_[i].get();
+    return trees_[i];
   }
 
-  Result<Cubetree*> TreeForView(uint32_t view_id) EXCLUDES(refresh_mu_);
+  Result<std::shared_ptr<Cubetree>> TreeForView(uint32_t view_id)
+      EXCLUDES(refresh_mu_);
   Result<const ViewDef*> view(uint32_t view_id) const;
   const std::vector<ViewDef>& views() const { return views_; }
 
@@ -330,6 +346,13 @@ class CubetreeForest {
   uint64_t TotalSizeBytes() const EXCLUDES(refresh_mu_);
   /// Total stored points across all trees.
   uint64_t TotalPoints() const EXCLUDES(refresh_mu_);
+
+  /// The worker-pool width a refresh of the current forest would use:
+  /// options_.refresh_threads (or the CUBETREE_REFRESH_THREADS /
+  /// hardware_concurrency default) capped at the number of trees. The
+  /// disk-space preflight and the engine's admission estimates use this so
+  /// the reserved temp space covers every concurrent packer.
+  unsigned RefreshConcurrency() const EXCLUDES(refresh_mu_);
 
   /// Pins the currently published generation. Wait-free; safe to call from
   /// any thread concurrently with refreshes. Returns an invalid snapshot
@@ -414,6 +437,9 @@ class CubetreeForest {
   /// refuses the refresh while the published epoch keeps serving.
   Status PreflightRefreshLocked(uint64_t estimated_bytes)
       REQUIRES(refresh_mu_);
+  /// Worker count for a refresh over `num_tasks` independent tree packs:
+  /// the configured/env-resolved pool width, capped at num_tasks, >= 1.
+  unsigned ResolvedRefreshThreads(size_t num_tasks) const;
   uint64_t ReclaimSpaceLocked() REQUIRES(refresh_mu_);
   uint64_t TotalSizeBytesLocked() const REQUIRES(refresh_mu_);
   /// Lock-held variants of the quarantine accessors, for use inside

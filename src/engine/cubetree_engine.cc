@@ -78,6 +78,7 @@ Result<std::unique_ptr<CubetreeEngine>> CubetreeEngine::Recover(
   forest_options.name = engine->options_.name;
   forest_options.rtree = engine->options_.rtree;
   forest_options.one_tree_per_view = engine->options_.one_tree_per_view;
+  forest_options.refresh_threads = engine->options_.refresh_threads;
   CT_ASSIGN_OR_RETURN(
       engine->forest_,
       CubetreeForest::Recover(forest_options, engine->pool_,
@@ -94,7 +95,8 @@ Status CubetreeEngine::RebuildQuarantined(ComputedViews* data) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
   CT_RETURN_NOT_OK(
-      GatedWrite(EstimateRefreshBytes(0, data->EstimatedInputBytes()),
+      GatedWrite(EstimateRefreshBytes(0, data->EstimatedInputBytes(),
+                                      forest_->RefreshConcurrency()),
                  [&] { return forest_->RebuildQuarantined(data); }));
   CT_ASSIGN_OR_RETURN(view_rows_, forest_->CountPointsPerView());
   return Status::OK();
@@ -204,6 +206,7 @@ Status CubetreeEngine::Load(const std::vector<ViewDef>& views,
   forest_options.name = options_.name;
   forest_options.rtree = options_.rtree;
   forest_options.one_tree_per_view = options_.one_tree_per_view;
+  forest_options.refresh_threads = options_.refresh_threads;
   CT_ASSIGN_OR_RETURN(forest_, CubetreeForest::Create(forest_options, pool_,
                                                       options_.io_stats));
   CT_RETURN_NOT_OK(forest_->Build(views, data));
@@ -234,7 +237,8 @@ Status CubetreeEngine::ApplyDelta(ComputedViews* delta) {
   // the stale counts only influence the routing heuristic, which stays
   // stable under proportional growth.
   return GatedWrite(EstimateRefreshBytes(forest_->TotalSizeBytes(),
-                                         delta->EstimatedInputBytes()),
+                                         delta->EstimatedInputBytes(),
+                                         forest_->RefreshConcurrency()),
                     [&] { return forest_->ApplyDelta(delta); });
 }
 
@@ -242,7 +246,8 @@ Status CubetreeEngine::ApplyDeltaPartial(ComputedViews* delta) {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
-  return GatedWrite(EstimateRefreshBytes(0, delta->EstimatedInputBytes()),
+  return GatedWrite(EstimateRefreshBytes(0, delta->EstimatedInputBytes(),
+                                         forest_->RefreshConcurrency()),
                     [&] { return forest_->ApplyDeltaPartial(delta); });
 }
 
@@ -250,7 +255,8 @@ Status CubetreeEngine::Compact() {
   if (forest_ == nullptr) {
     return Status::InvalidArgument("cubetree engine: not loaded");
   }
-  return GatedWrite(EstimateRefreshBytes(forest_->TotalSizeBytes(), 0),
+  return GatedWrite(EstimateRefreshBytes(forest_->TotalSizeBytes(), 0,
+                                         forest_->RefreshConcurrency()),
                     [&] { return forest_->Compact(); });
 }
 

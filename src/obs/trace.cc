@@ -79,6 +79,20 @@ void Trace::Annotate(int32_t index, const char* key, JsonValue value) {
   spans_[index].annotations.emplace_back(key, std::move(value));
 }
 
+void Trace::SpliceChild(const Trace& child, int32_t attach_parent) {
+  const int32_t offset = static_cast<int32_t>(spans_.size());
+  spans_.reserve(spans_.size() + child.spans_.size());
+  open_io_.reserve(open_io_.size() + child.open_io_.size());
+  for (size_t i = 0; i < child.spans_.size(); ++i) {
+    spans_.push_back(child.spans_[i]);
+    SpanRecord& span = spans_.back();
+    span.parent = span.parent < 0 ? attach_parent : span.parent + offset;
+    // Keep spans_ and open_io_ index-aligned: CloseSpan and the IoStats
+    // delta logic address both by the same span index.
+    open_io_.push_back(child.open_io_[i]);
+  }
+}
+
 namespace {
 
 JsonValue SpanTreeJson(const Trace& trace,
@@ -280,6 +294,63 @@ void TraceScope::Annotate(const char* key, int64_t value) {
 }
 void TraceScope::Annotate(const char* key, uint64_t value) {
   if (trace_ != nullptr) trace_->Annotate(index_, key, JsonValue(value));
+}
+
+// ---------------------------------------------------------------------------
+// TraceHandoff
+
+TraceHandoff::TraceHandoff()
+    : parent_trace_(t_ambient.trace), parent_span_(t_ambient.span) {}
+
+TraceHandoff::Adopt::Adopt(TraceHandoff& handoff) {
+  if (!handoff.active()) return;
+  handoff_ = &handoff;
+  saved_ = t_ambient;
+  // The child trace shares the parent's id (it is the same logical trace)
+  // but carries no IoStats pointer: the stats object is process-wide, so a
+  // per-worker delta would mostly measure the other workers.
+  local_ = std::make_unique<Trace>(handoff.parent_trace_->id(), nullptr);
+  t_ambient.trace = local_.get();
+  t_ambient.span = -1;
+}
+
+TraceHandoff::Adopt::~Adopt() {
+  if (handoff_ == nullptr) return;
+  t_ambient = saved_;
+  if (local_->spans().empty()) return;
+  // Workers may close their Adopt scopes concurrently; the coordinator is
+  // blocked joining them, so the parent trace itself is quiescent and the
+  // mutex only has to serialize the splices against each other.
+  MutexLock lock(handoff_->splice_mu_);
+  handoff_->parent_trace_->SpliceChild(*local_, handoff_->parent_span_);
+}
+
+TraceHandoff::Defer::Defer(TraceHandoff& handoff) {
+  if (!handoff.active()) return;
+  handoff_ = &handoff;
+  saved_ = t_ambient;
+  local_ = std::make_unique<Trace>(handoff.parent_trace_->id(), nullptr);
+  t_ambient.trace = local_.get();
+  t_ambient.span = -1;
+}
+
+TraceHandoff::Defer::~Defer() {
+  if (handoff_ == nullptr) return;
+  t_ambient = saved_;
+  if (local_->spans().empty()) return;
+  // Unlike Adopt, the parent trace may still be in active use on its
+  // owning thread, so only queue here; SpliceQueued grafts later.
+  MutexLock lock(handoff_->splice_mu_);
+  handoff_->queued_.push_back(std::move(local_));
+}
+
+void TraceHandoff::SpliceQueued() {
+  if (!active()) return;
+  MutexLock lock(splice_mu_);
+  for (const std::unique_ptr<Trace>& child : queued_) {
+    parent_trace_->SpliceChild(*child, parent_span_);
+  }
+  queued_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -96,6 +96,14 @@ class Trace {
   void AddPageRead(int32_t index) { ++spans_[index].pages_read; }
   void AddPoolHit(int32_t index) { ++spans_[index].pool_hits; }
 
+  /// Appends every span of `child` into this trace, re-rooting child roots
+  /// (parent < 0) under `attach_parent` and shifting all other parent
+  /// indices. Used by TraceHandoff to graft worker-thread span subtrees
+  /// back into the coordinator's trace; the caller is responsible for
+  /// serializing splices (TraceHandoff holds a mutex) and for making sure
+  /// this trace is not concurrently being built on another thread.
+  void SpliceChild(const Trace& child, int32_t attach_parent);
+
  private:
   static uint64_t NowNanos() {
     return static_cast<uint64_t>(
@@ -160,6 +168,77 @@ class TraceScope {
   Trace* trace_ = nullptr;
   int32_t index_ = -1;
   int32_t parent_ = -1;
+};
+
+/// Explicit parent-handoff for spans built on worker threads. Spans use
+/// the thread-local ambient, so work moved onto a pool thread would
+/// silently detach from the trace that spawned it. The coordinating thread
+/// constructs a TraceHandoff while its trace is ambient; each worker
+/// enters a TraceHandoff::Adopt scope, which gives the worker a private
+/// child trace (so span building stays single-threaded and lock-free) and,
+/// when the scope closes, splices the child's spans back under the
+/// coordinator's current span — serialized by the handoff's mutex.
+///
+/// The coordinator must not close the parent span (or destroy the parent
+/// trace) until every adopting worker has exited its Adopt scope; in
+/// practice it blocks joining the pool, which is exactly that barrier.
+/// Page-read / pool-hit attribution on the worker lands in the child spans
+/// and survives the splice; per-span IoStats deltas do not (the attached
+/// IoStats is process-wide, so a per-worker delta would be noise anyway).
+class TraceHandoff {
+ public:
+  /// Captures the calling thread's ambient trace and innermost span.
+  /// Inactive (all Adopts become no-ops) when no trace is ambient.
+  TraceHandoff();
+  TraceHandoff(const TraceHandoff&) = delete;
+  TraceHandoff& operator=(const TraceHandoff&) = delete;
+
+  bool active() const { return parent_trace_ != nullptr; }
+
+  /// RAII adoption of the handoff's trace on the current thread.
+  class Adopt {
+   public:
+    explicit Adopt(TraceHandoff& handoff);
+    ~Adopt();
+    Adopt(const Adopt&) = delete;
+    Adopt& operator=(const Adopt&) = delete;
+
+   private:
+    TraceHandoff* handoff_ = nullptr;
+    std::unique_ptr<Trace> local_;
+    trace_internal::AmbientTrace saved_;
+  };
+
+  /// Like Adopt, for pools whose parent thread KEEPS TRACING while the
+  /// workers run (the sorter's background spills: the adding thread still
+  /// opens spans and attributes page reads between Add calls). Splicing
+  /// from the worker would then race with the parent thread's own span
+  /// writes, so the closing Defer scope queues the finished child trace on
+  /// the handoff instead; the parent thread grafts the queue in with
+  /// SpliceQueued() after joining the workers.
+  class Defer {
+   public:
+    explicit Defer(TraceHandoff& handoff);
+    ~Defer();
+    Defer(const Defer&) = delete;
+    Defer& operator=(const Defer&) = delete;
+
+   private:
+    TraceHandoff* handoff_ = nullptr;
+    std::unique_ptr<Trace> local_;
+    trace_internal::AmbientTrace saved_;
+  };
+
+  /// Splices every queued child trace (closed Defer scopes) under the
+  /// captured parent span. Must run on a thread where the parent trace is
+  /// quiescent — in practice the thread that just joined the workers.
+  void SpliceQueued() EXCLUDES(splice_mu_);
+
+ private:
+  Trace* parent_trace_ = nullptr;
+  int32_t parent_span_ = -1;
+  Mutex splice_mu_;
+  std::vector<std::unique_ptr<Trace>> queued_ GUARDED_BY(splice_mu_);
 };
 
 /// Process-wide tracing control: the enable flag, the bounded ring buffer

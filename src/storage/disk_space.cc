@@ -97,12 +97,15 @@ Status DiskSpaceManager::Preflight(uint64_t estimated_bytes) const {
 }
 
 uint64_t EstimateRefreshBytes(uint64_t live_tree_bytes,
-                              uint64_t delta_input_bytes) {
+                              uint64_t delta_input_bytes,
+                              unsigned concurrent_packs) {
   const uint64_t packed = live_tree_bytes + delta_input_bytes;
   const uint64_t packed_pages = (packed + kPageSize - 1) / kPageSize;
   const uint64_t sidecars = packed_pages * 4 + 1024;
   const uint64_t runs = 2 * delta_input_bytes;
-  return packed + sidecars + runs;
+  const uint64_t packs = concurrent_packs > 1 ? concurrent_packs : 1;
+  const uint64_t slack = (packs - 1) * kRefreshPackerSlackBytes;
+  return packed + sidecars + runs + slack;
 }
 
 }  // namespace cubetree

@@ -61,6 +61,12 @@ class DiskSpaceManager {
   Options options_;
 };
 
+/// Per-packer transient slack a parallel refresh adds beyond the serial
+/// estimate: each extra concurrent tree packer holds its own in-flight
+/// checksum-sidecar draft and a page-write frontier that land on disk
+/// before the serial accounting would have charged them.
+inline constexpr uint64_t kRefreshPackerSlackBytes = 64 * 1024;
+
 /// Projected peak footprint of one bulk-incremental refresh:
 ///
 ///   packed   = live_tree_bytes + delta_input_bytes   (merge-pack output:
@@ -68,11 +74,17 @@ class DiskSpaceManager {
 ///   sidecars = 4 bytes per packed page + header      (.crc files)
 ///   runs     = 2 * delta_input_bytes                 (external-sort spill
 ///              plus one merge pass, both transient)
+///   slack    = (concurrent_packs - 1) * kRefreshPackerSlackBytes
 ///
 /// Deliberately conservative: the old generation is retired only after the
-/// new one commits, so the peak holds both.
+/// new one commits, so the peak holds both. `concurrent_packs` is the
+/// refresh worker-pool width: with K workers the temp-file peak is the sum
+/// of all K packers' in-flight output, not one packer's at a time, so the
+/// preflight must reserve the extra per-worker slack or a mid-refresh
+/// StorageFull can slip past. K <= 1 reproduces the serial estimate.
 uint64_t EstimateRefreshBytes(uint64_t live_tree_bytes,
-                              uint64_t delta_input_bytes);
+                              uint64_t delta_input_bytes,
+                              unsigned concurrent_packs = 1);
 
 }  // namespace cubetree
 

@@ -240,7 +240,7 @@ TEST_F(ForestTest, BuildQueryPaperViews) {
   EXPECT_EQ(forest->TotalPoints(), 100u + 40u + 20u + 1u);
 
   // Slice on V1: partkey free, suppkey = 3 (the paper's Q1 shape).
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   std::vector<std::pair<Coord, int64_t>> hits;
   ASSERT_OK(tree->QuerySlice(
       1, {std::nullopt, Coord{3}},
@@ -253,7 +253,7 @@ TEST_F(ForestTest, BuildQueryPaperViews) {
   }
 
   // The none view is the origin point.
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree_none, forest->TreeForView(4));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree_none, forest->TreeForView(4));
   int none_hits = 0;
   ASSERT_OK(tree_none->QuerySlice(
       4, {},
@@ -271,7 +271,7 @@ TEST_F(ForestTest, SliceRectValidation) {
   provider.Add(views[0], {1, 1}, AggValue{1, 1});
   ASSERT_OK_AND_ASSIGN(auto forest, MakeForest());
   ASSERT_OK(forest->Build(views, &provider));
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   // Wrong binding arity.
   EXPECT_FALSE(tree->SliceRect(1, {std::nullopt}).ok());
   // Unknown view.
@@ -378,7 +378,7 @@ TEST_F(ForestTest, ApplyDeltaMergePacks) {
   EXPECT_EQ(forest->TotalPoints(), points_before + 2);
 
   // Existing group merged.
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   int64_t sum = 0;
   ASSERT_OK(tree->QuerySlice(1, {Coord{10}, Coord{1}},
                              [&](const Coord*, const AggValue& agg) {
@@ -411,7 +411,7 @@ TEST_F(ForestTest, RepeatedDeltasAccumulate) {
     delta.Add(views[0], {1}, AggValue{10, 1});
     ASSERT_OK(forest->ApplyDelta(&delta));
   }
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   int64_t sum = 0;
   uint32_t count = 0;
   ASSERT_OK(tree->QuerySlice(1, {Coord{1}},
@@ -532,7 +532,7 @@ TEST_F(ForestTest, PartialDeltasSurviveReopen) {
   ASSERT_OK_AND_ASSIGN(auto forest,
                        CubetreeForest::Open(options, pool_.get()));
   EXPECT_EQ(forest->TotalDeltas(), 1u);
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   std::map<Coord, AggValue> got;
   ASSERT_OK(tree->QuerySlice(1, {std::nullopt},
                              [&](const Coord* coords, const AggValue& agg) {
@@ -571,7 +571,7 @@ TEST_F(ForestTest, ReopenFromManifest) {
                        CubetreeForest::Open(options, pool_.get()));
   EXPECT_EQ(forest->views().size(), 3u);
   EXPECT_EQ(forest->TotalPoints(), 201u);
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   int64_t sum = -1;
   ASSERT_OK(tree->QuerySlice(1, {Coord{42}, Coord{3}},
                              [&](const Coord*, const AggValue& agg) {
@@ -589,7 +589,7 @@ TEST_F(ForestTest, ReopenFromManifest) {
   {
     ASSERT_OK_AND_ASSIGN(auto reopened,
                          CubetreeForest::Open(options, pool_.get()));
-    ASSERT_OK_AND_ASSIGN(Cubetree * t2, reopened->TreeForView(1));
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> t2, reopened->TreeForView(1));
     int64_t sum2 = -1;
     ASSERT_OK(t2->QuerySlice(1, {Coord{42}, Coord{3}},
                              [&](const Coord*, const AggValue& agg) {
@@ -626,7 +626,7 @@ TEST_F(ForestTest, BoxRectClampsZeroLowerBound) {
   base.Add(views[0], {1, 1}, AggValue{1, 1});
   ASSERT_OK_AND_ASSIGN(auto forest, MakeForest());
   ASSERT_OK(forest->Build(views, &base));
-  ASSERT_OK_AND_ASSIGN(Cubetree * tree, forest->TreeForView(1));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Cubetree> tree, forest->TreeForView(1));
   // A caller-provided interval starting at 0 must still exclude the zero
   // plane (it belongs to lower-arity views).
   ASSERT_OK_AND_ASSIGN(Rect rect, tree->BoxRect(1, {{0, 10}, {0, 5}}));

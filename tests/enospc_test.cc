@@ -277,6 +277,18 @@ TEST_F(EnospcTest, EstimateRefreshBytesFormula) {
   // No delta: still accounts the repacked trees and their sidecars.
   EXPECT_EQ(EstimateRefreshBytes(live, 0), live + 3 * 4 + 1024);
   EXPECT_EQ(EstimateRefreshBytes(0, 0), 1024u);
+
+  // Concurrency-aware: K parallel packers hold K in-flight write
+  // frontiers, so each worker past the first adds its slack. K <= 1 must
+  // reproduce the serial estimate exactly (0 is "unspecified", not
+  // "minus one workers").
+  const uint64_t serial = EstimateRefreshBytes(live, delta);
+  EXPECT_EQ(EstimateRefreshBytes(live, delta, 1), serial);
+  EXPECT_EQ(EstimateRefreshBytes(live, delta, 0), serial);
+  EXPECT_EQ(EstimateRefreshBytes(live, delta, 4),
+            serial + 3 * kRefreshPackerSlackBytes);
+  EXPECT_EQ(EstimateRefreshBytes(0, 0, 8),
+            1024u + 7 * kRefreshPackerSlackBytes);
 }
 
 TEST_F(EnospcTest, PreflightRefusalReportsShortfall) {
@@ -356,10 +368,15 @@ TEST_F(EnospcTest, DegradedControllerEntersAndRecovers) {
 
 // --- The sweeps ----------------------------------------------------------
 
-/// One in-process sweep iteration: refresh with `action` armed at `point`,
-/// then check the full disk-full contract.
-void SweepPoint(const char* point, const char* action, int* fired) {
-  SCOPED_TRACE(std::string(point) + ":" + action);
+/// One in-process sweep iteration: refresh with `action` armed at `point`
+/// and `refresh_threads` merge-pack workers, then check the full
+/// disk-full contract. With several workers the failing one must cancel
+/// its siblings and the abort must sweep every worker's partial output,
+/// not just the faulting tree's.
+void SweepPoint(const char* point, const char* action, int* fired,
+                unsigned refresh_threads = 1) {
+  SCOPED_TRACE(std::string(point) + ":" + action + " threads=" +
+               std::to_string(refresh_threads));
   const std::string dir =
       MakeTestDir(std::string("enospc_sweep_") + point + "_" + action);
   BuildBaseForest(dir);
@@ -370,8 +387,10 @@ void SweepPoint(const char* point, const char* action, int* fired) {
   std::set<std::string> after_abort;
   {
     BufferPool pool(256);
+    CubetreeForest::Options forest_options = ForestOptions(dir);
+    forest_options.refresh_threads = refresh_threads;
     ASSERT_OK_AND_ASSIGN(auto forest,
-                         CubetreeForest::Open(ForestOptions(dir), &pool));
+                         CubetreeForest::Open(forest_options, &pool));
     PageManager::SetReadRetryPolicy(2, 0);  // Keep read retries cheap.
     ASSERT_OK(FaultInjector::Instance().Arm(point, action));
     VectorViewProvider delta;
@@ -432,6 +451,19 @@ TEST_F(EnospcTest, ShortWriteAtEveryFailpoint) {
   int fired = 0;
   for (const auto& point : FaultInjector::RegisteredPoints()) {
     SweepPoint(point.name, "short_write", &fired);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(fired, 12) << "only " << fired << " failpoints fired";
+}
+
+TEST_F(EnospcTest, StorageFullAtEveryFailpointParallelRefresh) {
+  // Same contract, four merge-pack workers: the failing worker's
+  // StorageFull must cancel its siblings, and the abort must delete every
+  // worker's partial pack and sidecar — a serial-only cleanup loop would
+  // leak the non-faulting workers' output here.
+  int fired = 0;
+  for (const auto& point : FaultInjector::RegisteredPoints()) {
+    SweepPoint(point.name, "enospc", &fired, /*refresh_threads=*/4);
     if (HasFatalFailure()) return;
   }
   EXPECT_GE(fired, 12) << "only " << fired << " failpoints fired";

@@ -704,11 +704,13 @@ TEST_F(OnlineRefreshTest, BufferPoolDegradesToEvictionUnderBudget) {
 /// non-decreasing per reader. Readers alternate plain and deadlined
 /// contexts; deadline/cancel/IO outcomes are tolerated, torn states and
 /// cross-generation mixes are not.
-TEST_F(OnlineRefreshTest, StressReadersVsRefreshWithFailpoints) {
+void RunReadersVsRefreshStress(unsigned refresh_threads) {
   const std::string dir = MakeTestDir("online");
   BufferPool pool(512);
+  CubetreeForest::Options forest_options = ForestOptions(dir);
+  forest_options.refresh_threads = refresh_threads;
   ASSERT_OK_AND_ASSIGN(auto forest,
-                       CubetreeForest::Create(ForestOptions(dir), &pool));
+                       CubetreeForest::Create(forest_options, &pool));
   const auto views = PaperViews();
   VectorViewProvider base;
   FillBase(&base, views);
@@ -836,6 +838,19 @@ TEST_F(OnlineRefreshTest, StressReadersVsRefreshWithFailpoints) {
   EXPECT_EQ(ForestDataFiles(dir).size(), num_trees);
 }
 
+TEST_F(OnlineRefreshTest, StressReadersVsRefreshWithFailpoints) {
+  RunReadersVsRefreshStress(1);
+}
+
+// The same harness with the refresh worker pool on: each cycle's
+// merge-packs run on 4 workers while the readers hammer snapshots and the
+// transient read failpoint keeps tripping inside the workers. Lockstep,
+// cleanup and GC invariants are identical — parallelism must be
+// unobservable except in wall time.
+TEST_F(OnlineRefreshTest, StressReadersVsParallelRefreshWithFailpoints) {
+  RunReadersVsRefreshStress(4);
+}
+
 /// Readers holding snapshots across whole refresh cycles (long-running
 /// "dashboard" scans): pins outlive several generations and reclamation
 /// happens strictly after the last release, never under a reader.
@@ -907,6 +922,235 @@ TEST_F(OnlineRefreshTest, StressLongPinsDeferReclamation) {
   EXPECT_EQ(gc.pinned_epochs, 0u);
   EXPECT_EQ(gc.unreclaimed_files, 0u);
   EXPECT_EQ(ForestDataFiles(dir).size(), num_trees);
+}
+
+// Regression for the raw-pointer accessor dangle: tree() / TreeForView()
+// used to hand out a Cubetree* into the live generation, which a
+// concurrent refresh could retire and destroy mid-query (nothing pinned
+// the generation for the caller). The accessors now return shared
+// ownership: a handle acquired just before a refresh keeps its
+// generation's tree alive — and its possibly-unlinked file readable —
+// for as long as the caller holds it. Run under TSan via
+// CUBETREE_SANITIZE=thread: with the raw accessors this races on freed
+// Cubetree state.
+TEST_F(OnlineRefreshTest, TreeAccessorHandlesSurviveConcurrentRefresh) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(512);
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(ForestOptions(dir), &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+
+  constexpr int kAccessors = 4;
+  constexpr uint32_t kCycles = 16;
+  std::atomic<bool> stop{false};
+  std::vector<std::string> errors(kAccessors);
+
+  auto accessor = [&](int r) {
+    uint64_t last_k = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Hold a handle to every tree across the whole iteration; a refresh
+      // may retire their generation at any point in between.
+      std::vector<std::shared_ptr<Cubetree>> held;
+      for (size_t t = 0; t < forest->num_trees(); ++t) {
+        held.push_back(forest->tree(t));
+      }
+      auto tree_result = forest->TreeForView(views[0].id);
+      if (!tree_result.ok()) {
+        if (errors[r].empty()) errors[r] = tree_result.status().ToString();
+        return;
+      }
+      std::shared_ptr<Cubetree> tree = *std::move(tree_result);
+      uint64_t count = 0;
+      std::vector<std::optional<Coord>> open(views[0].arity(), std::nullopt);
+      const Status status = tree->QuerySlice(
+          views[0].id, open,
+          [&count](const Coord*, const AggValue& agg) { count += agg.count; });
+      if (!status.ok()) {
+        if (errors[r].empty()) errors[r] = status.ToString();
+        return;
+      }
+      // The handle serves one committed generation: base + whole cycles,
+      // never torn, never going backwards across fresh handles.
+      std::string bad;
+      if (count < kBaseCount || (count - kBaseCount) % kCycleCount != 0) {
+        bad = "count is not base + whole cycles: " + std::to_string(count);
+      }
+      const uint64_t k = (count - kBaseCount) / kCycleCount;
+      if (bad.empty() && k < last_k) bad = "fresh handle went backwards";
+      if (!bad.empty()) {
+        if (errors[r].empty()) errors[r] = bad;
+        return;
+      }
+      last_k = k;
+      // Metadata reads through the held handles: with raw pointers these
+      // would touch freed memory once the generation is reclaimed.
+      uint64_t points = 0;
+      for (const auto& h : held) points += h->rtree()->num_points();
+      if (points == 0) {
+        if (errors[r].empty()) errors[r] = "held handles lost their points";
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> accessors;
+  accessors.reserve(kAccessors);
+  for (int r = 0; r < kAccessors; ++r) accessors.emplace_back(accessor, r);
+
+  std::string refresh_error;
+  for (uint32_t c = 1; c <= kCycles && refresh_error.empty(); ++c) {
+    VectorViewProvider delta;
+    FillCycle(&delta, views, c);
+    const Status applied = forest->ApplyDelta(&delta);
+    if (!applied.ok()) {
+      refresh_error = "cycle " + std::to_string(c) + ": " + applied.ToString();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : accessors) t.join();
+
+  EXPECT_TRUE(refresh_error.empty()) << refresh_error;
+  for (int r = 0; r < kAccessors; ++r) {
+    EXPECT_TRUE(errors[r].empty()) << "accessor " << r << ": " << errors[r];
+  }
+  // With every handle dropped, all retired generations reclaim fully.
+  ForestGcStats gc = forest->GcStats();
+  EXPECT_EQ(gc.pinned_epochs, 0u);
+  EXPECT_EQ(gc.unreclaimed_files, 0u);
+}
+
+// A failing worker inside the parallel merge-pack fan-out must cancel its
+// siblings, surface the root cause (never a secondary Cancelled status),
+// sweep every partial pack across all workers, and leave the published
+// generation serving — so a disarm-and-retry then succeeds cleanly.
+TEST_F(OnlineRefreshTest, ParallelRefreshAbortSweepsAllWorkerPartials) {
+  const std::string dir = MakeTestDir("online");
+  BufferPool pool(256);
+  CubetreeForest::Options options = ForestOptions(dir);
+  options.refresh_threads = 4;
+  ASSERT_OK_AND_ASSIGN(auto forest,
+                       CubetreeForest::Create(options, &pool));
+  const auto views = PaperViews();
+  VectorViewProvider base;
+  FillBase(&base, views);
+  ASSERT_OK(forest->Build(views, &base));
+  const auto files_before = ForestDataFiles(dir);
+
+  ASSERT_OK(FaultInjector::Instance().Arm("forest.refresh.build", "error"));
+  VectorViewProvider delta;
+  FillCycle(&delta, views, 1);
+  const Status failed = forest->ApplyDelta(&delta);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(failed.IsCancelled()) << failed.ToString();
+  FaultInjector::Instance().DisarmAll();
+
+  // No partial pack leaked from any worker; the old generation serves.
+  EXPECT_EQ(ForestDataFiles(dir), files_before);
+  ForestSnapshot snap = forest->AcquireSnapshot();
+  std::vector<uint64_t> counts;
+  ASSERT_OK(CountAll(snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount);
+  snap.Release();
+
+  // The failure was transient: the same delta applies on retry.
+  ASSERT_OK(forest->ApplyDelta(&delta));
+  snap = forest->AcquireSnapshot();
+  ASSERT_OK(CountAll(snap, views, &counts));
+  for (uint64_t c : counts) EXPECT_EQ(c, kBaseCount + kCycleCount);
+  snap.Release();
+}
+
+// N concurrent sorters arbitrated by one process budget. The capacity
+// covers three full 32 KB buffers and then exactly the 4 KB floor, so the
+// fourth sorter degrades to earlier spilling rather than failing; the
+// background-spill replacement buffers are mostly denied (the budget is
+// nearly full), exercising the synchronous-degrade path under contention.
+// Nothing may deadlock, every sorter must produce its complete sorted
+// output, and every reserved byte must return to the budget.
+TEST_F(OnlineRefreshTest, ConcurrentSortersShareBudgetWithoutDeadlock) {
+  const std::string dir = MakeTestDir("online");
+  constexpr int kSorters = 4;
+  constexpr size_t kRecordSize = 64;
+  constexpr int kRecords = 1024;  // 64 KB per sorter: everyone spills.
+  MemoryBudget budget(100 * 1024);
+
+  auto key_less = [](const char* a, const char* b) {
+    uint64_t ka, kb;
+    std::memcpy(&ka, a, sizeof(ka));
+    std::memcpy(&kb, b, sizeof(kb));
+    return ka < kb;
+  };
+
+  std::vector<std::unique_ptr<ExternalSorter>> sorters;
+  for (int i = 0; i < kSorters; ++i) {
+    ExternalSorter::Options options;
+    options.record_size = kRecordSize;
+    options.memory_budget_bytes = 32 * 1024;
+    options.temp_dir = dir;
+    options.process_budget = &budget;
+    options.spill_threads = 2;
+    options.merge_read_ahead = true;
+    sorters.push_back(std::make_unique<ExternalSorter>(options, key_less));
+  }
+  // Deterministic construction-order grants: 32 KB x3, then the floor.
+  EXPECT_EQ(budget.used(), 3u * 32 * 1024 + 64 * kRecordSize);
+
+  std::vector<std::string> errors(kSorters);
+  std::vector<std::thread> threads;
+  threads.reserve(kSorters);
+  for (int i = 0; i < kSorters; ++i) {
+    threads.emplace_back([&, i] {
+      ExternalSorter* sorter = sorters[i].get();
+      char rec[kRecordSize] = {};
+      for (int r = 0; r < kRecords; ++r) {
+        // Descending, sorter-unique keys: worst case for run generation.
+        const uint64_t key =
+            static_cast<uint64_t>(kRecords - r) * kSorters + i;
+        std::memcpy(rec, &key, sizeof(key));
+        const Status status = sorter->Add(rec);
+        if (!status.ok()) {
+          errors[i] = "add: " + status.ToString();
+          return;
+        }
+      }
+      auto stream = sorter->Finish();
+      if (!stream.ok()) {
+        errors[i] = "finish: " + stream.status().ToString();
+        return;
+      }
+      uint64_t prev = 0, n = 0;
+      while (true) {
+        const char* out = nullptr;
+        const Status status = (*stream)->Next(&out);
+        if (!status.ok()) {
+          errors[i] = "drain: " + status.ToString();
+          return;
+        }
+        if (out == nullptr) break;
+        uint64_t key;
+        std::memcpy(&key, out, sizeof(key));
+        if (key <= prev) {
+          errors[i] = "out of order at record " + std::to_string(n);
+          return;
+        }
+        prev = key;
+        ++n;
+      }
+      if (n != static_cast<uint64_t>(kRecords)) {
+        errors[i] = "lost records: " + std::to_string(n);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kSorters; ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "sorter " << i << ": " << errors[i];
+    EXPECT_GT(sorters[i]->num_runs(), 0u);
+  }
+  sorters.clear();
+  EXPECT_EQ(budget.used(), 0u);
 }
 
 // ---------------------------------------------------------------------------

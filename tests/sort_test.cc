@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/memory_budget.h"
 #include "common/rng.h"
 #include "fault/fault_injector.h"
 #include "sort/external_sorter.h"
@@ -398,6 +399,75 @@ TEST(ExternalSorterTest, MultiPassKeepsDuplicatesAndPayloads) {
   }
   EXPECT_EQ(count, n);
   EXPECT_EQ(payload_sum, static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+// Background run generation (spill_threads > 1) must produce exactly the
+// output of the synchronous path: same records, same order, no leaked run
+// files, and every replacement-buffer reservation returned to the process
+// budget. The budget is large enough that every TryReserve succeeds, so
+// the spills genuinely run on worker threads.
+TEST(ExternalSorterTest, BackgroundSpillsProduceSameSortedOutput) {
+  const std::string dir = MakeTestDir("sort_bg_spill");
+  MemoryBudget budget(1u << 20);
+  {
+    ExternalSorter::Options options = SmallSorterOptions(dir, 4, 400);
+    options.process_budget = &budget;
+    options.spill_threads = 3;
+    options.merge_read_ahead = true;
+    ExternalSorter sorter(options, U32Less());
+    Rng rng(29);
+    std::vector<uint32_t> values;
+    char buf[4];
+    for (int i = 0; i < 5000; ++i) {
+      const uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 30));
+      values.push_back(v);
+      EncodeFixed32(buf, v);
+      ASSERT_OK(sorter.Add(buf));
+    }
+    EXPECT_GT(sorter.num_runs(), 10u);
+    ASSERT_OK_AND_ASSIGN(auto stream, sorter.Finish());
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(DrainU32(stream.get()), values);
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ADD_FAILURE() << "leaked run file: " << entry.path();
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+// A disk-full failure inside a *background* spill must still surface as a
+// typed StorageFull status (on a later Add or at Finish — never swallowed),
+// delete its partial run file eagerly, and leave the temp dir empty after
+// the destructor's sweep of the successful runs.
+TEST(ExternalSorterTest, BackgroundSpillFailureSurfacesTypedStatus) {
+  const std::string dir = MakeTestDir("sort_bg_spill_enospc");
+  MemoryBudget budget(1u << 20);
+  {
+    ExternalSorter::Options options = SmallSorterOptions(dir, 4, 400);
+    options.process_budget = &budget;
+    options.spill_threads = 3;
+    ExternalSorter sorter(options, U32Less());
+    ASSERT_OK(
+        FaultInjector::Instance().Arm("storage.page.append", "enospc"));
+    Rng rng(31);
+    char buf[4];
+    Status status = Status::OK();
+    for (int i = 0; i < 5000 && status.ok(); ++i) {
+      EncodeFixed32(buf, static_cast<uint32_t>(rng.Uniform(1u << 30)));
+      status = sorter.Add(buf);
+    }
+    if (status.ok()) {
+      // Every Add raced ahead of the worker's error latch; the join point
+      // in Finish must still report it.
+      status = sorter.Finish().status();
+    }
+    EXPECT_TRUE(status.IsStorageFull()) << status.ToString();
+    FaultInjector::Instance().DisarmAll();
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ADD_FAILURE() << "leaked run file: " << entry.path();
+  }
+  EXPECT_EQ(budget.used(), 0u);
 }
 
 TEST(RecordSpoolTest, AppendSealRead) {
