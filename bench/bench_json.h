@@ -3,13 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "obs/workload.h"
 #include "storage/io_stats.h"
 
 namespace cubetree {
@@ -30,6 +33,7 @@ namespace bench {
 ///                        modeled_seconds}, ...},
 ///     "metrics": <MetricsRegistry snapshot>,
 ///     "traces": {...}            (only when --trace=<path> was given)
+///     "workload": {...}          (only when CUBETREE_QUERY_LOG is set)
 ///     "results": {<bench-specific numbers via results()>}
 ///   }
 ///
@@ -54,6 +58,13 @@ class JsonWriter {
     }
     if (!enabled()) return;
     obs::MetricsRegistry::Instance().ResetAll();
+    if (obs::QueryLog::Default() != nullptr) {
+      // The durable query log is armed, so profile the run live and embed
+      // the workload report (per-view latencies, heavy-hitter shapes,
+      // replica misses) in the envelope alongside the raw JSONL log.
+      profiler_ = std::make_unique<obs::WorkloadProfiler>();
+      obs::WorkloadProfiler::SetDefault(profiler_.get());
+    }
     root_ = obs::JsonValue::MakeObject();
     root_.Set("schema_version", obs::JsonValue(static_cast<int64_t>(1)));
     root_.Set("bench", obs::JsonValue(bench_name_));
@@ -68,7 +79,10 @@ class JsonWriter {
 
   /// Benches only call Finish() on the --json path; the destructor covers
   /// the trace file for --trace-only runs.
-  ~JsonWriter() { WriteTraceFile(); }
+  ~JsonWriter() {
+    WriteTraceFile();
+    if (profiler_ != nullptr) obs::WorkloadProfiler::SetDefault(nullptr);
+  }
 
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;
@@ -107,6 +121,14 @@ class JsonWriter {
     root_.Set("io", std::move(io_));
     root_.Set("metrics", obs::MetricsRegistry::Instance().SnapshotJson());
     if (tracing()) root_.Set("traces", TraceSummary());
+    if (profiler_ != nullptr) {
+      // Detach before reporting so a straggler query can't race the
+      // snapshot, and flush the durable log so ctstat sees every record
+      // this run appended even if the process is later killed.
+      obs::WorkloadProfiler::SetDefault(nullptr);
+      if (obs::QueryLog* log = obs::QueryLog::Default()) log->Flush();
+      root_.Set("workload", profiler_->ReportJson());
+    }
     root_.Set("results", std::move(results_));
     const std::string text = root_.Dump() + "\n";
     WriteFileOrDie(path_, text);
@@ -164,6 +186,7 @@ class JsonWriter {
   obs::JsonValue root_;
   obs::JsonValue io_;
   obs::JsonValue results_;
+  std::unique_ptr<obs::WorkloadProfiler> profiler_;
 };
 
 }  // namespace bench

@@ -59,6 +59,9 @@ inline bool ParseUint64Arg(const char* text, uint64_t* out) {
 ///   --json=<path>        also emit machine-readable results (JsonWriter)
 ///   --trace=<path>       record span traces; written as Chrome trace-event
 ///                        JSON (Perfetto / chrome://tracing) on Finish/exit
+///   --replicas=<0|1>     materialize the top view's sort-order replicas
+///                        (default 1, the paper's configuration; 0 exposes
+///                        replica misses to the workload profiler)
 struct BenchArgs {
   double sf = 0.05;
   int queries = 100;
@@ -66,6 +69,7 @@ struct BenchArgs {
   uint64_t seed = 19980601;
   std::string json_path;   // Empty = no JSON output.
   std::string trace_path;  // Empty = tracing stays disabled.
+  bool replicas = true;
 
   static BenchArgs Parse(int argc, char** argv) {
     InitLogLevelFromEnv();
@@ -91,6 +95,13 @@ struct BenchArgs {
       } else if (std::strncmp(a, "--trace=", 8) == 0) {
         args.trace_path = a + 8;
         if (args.trace_path.empty()) malformed("--trace", a + 8);
+      } else if (std::strncmp(a, "--replicas=", 11) == 0) {
+        int replicas = -1;
+        if (!ParseIntArg(a + 11, &replicas) ||
+            (replicas != 0 && replicas != 1)) {
+          malformed("--replicas", a + 11);
+        }
+        args.replicas = replicas != 0;
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", a);
         std::exit(2);
@@ -104,6 +115,7 @@ struct BenchArgs {
     options.scale_factor = sf;
     options.seed = seed;
     options.dir = dir + "_" + subdir;
+    options.replicate_top_view = replicas;
     return options;
   }
 };

@@ -12,6 +12,7 @@
 //          WHERE partkey BETWEEN 10 AND 20 GROUP BY custkey
 //   ctsql> \plan SELECT ...     (show the access path, not the rows)
 //   ctsql> \trace               (show the last query's span tree)
+//   ctsql> \workload            (live workload profile of this session)
 //   ctsql> \quit
 
 #include <cstdio>
@@ -25,6 +26,7 @@
 #include "engine/query_parser.h"
 #include "engine/warehouse.h"
 #include "obs/trace.h"
+#include "obs/workload.h"
 
 using namespace cubetree;
 
@@ -62,6 +64,10 @@ int main(int argc, char** argv) {
   // / CUBETREE_SLOW_QUERY_US (applied when Instance() first runs) can
   // further arm the slow-query log.
   obs::Tracer::Instance().Enable(true);
+  // Live workload profiler behind \workload: the engine feeds it a record
+  // per query (alongside CUBETREE_QUERY_LOG when that env var is set).
+  obs::WorkloadProfiler profiler;
+  obs::WorkloadProfiler::SetDefault(&profiler);
 
   std::printf("ctsql: loading TPC-D at SF=%.3f...\n", options.scale_factor);
   auto warehouse_result = Warehouse::Create(options);
@@ -82,7 +88,8 @@ int main(int argc, char** argv) {
               schema.attr_domains[0], schema.attr_domains[1],
               schema.attr_domains[2]);
   std::printf("Predicates: '=' and BETWEEN. \\plan prefix shows the access "
-              "path. \\trace shows the last query's spans. \\quit exits.\n\n");
+              "path. \\trace shows the last query's spans. \\workload "
+              "profiles the session. \\quit exits.\n\n");
 
   std::string line;
   while (true) {
@@ -97,6 +104,14 @@ int main(int argc, char** argv) {
         std::printf("no trace yet: run a query first.\n");
       } else {
         std::printf("%s", last->DebugString().c_str());
+      }
+      continue;
+    }
+    if (line == "\\workload") {
+      if (profiler.records() == 0) {
+        std::printf("no queries profiled yet: run a query first.\n");
+      } else {
+        std::fputs(profiler.ReportText().c_str(), stdout);
       }
       continue;
     }
@@ -171,6 +186,7 @@ int main(int argc, char** argv) {
                   stats.plan.c_str());
     }
   }
+  obs::WorkloadProfiler::SetDefault(nullptr);
   std::printf("\nbye.\n");
   return 0;
 }

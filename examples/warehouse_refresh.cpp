@@ -27,10 +27,14 @@
 //
 // Build & run:
 //   ./build/examples/warehouse_refresh [scale_factor] [--online] [--stats]
+//                                      [--stats-format=<text|json|prometheus>]
 //                                      [--trace=<path>]
 //
 // --stats dumps the process-wide metrics registry (query latency, buffer
-// pool hit rates, sorter spills, refresh publish latency, ...) on exit.
+// pool hit rates, sorter spills, refresh publish latency, ...) on exit;
+// --stats-format selects text (default), json, or the Prometheus text
+// exposition. Set CUBETREE_QUERY_LOG=<path> to also write one JSONL record
+// per dashboard query (analyze with ctstat).
 // --trace=<path> records every refresh and query as a span tree and writes
 // the whole ring as Chrome trace-event JSON (open in Perfetto or
 // chrome://tracing) on exit.
@@ -172,11 +176,21 @@ int OnlineWeek(Warehouse* warehouse) {
 }  // namespace
 
 // Dumps the metrics registry on every exit path once --stats armed it.
+// --stats-format selects the rendering: text (default), json, or
+// prometheus (scrape-ready text exposition).
 struct StatsDumper {
   bool enabled = false;
+  std::string format = "text";
   ~StatsDumper() {
     if (!enabled) return;
-    std::printf("\n%s", obs::MetricsRegistry::Instance().DumpText().c_str());
+    auto& registry = obs::MetricsRegistry::Instance();
+    if (format == "json") {
+      std::printf("\n%s\n", registry.DumpJson(2).c_str());
+    } else if (format == "prometheus") {
+      std::printf("\n%s", registry.DumpPrometheus().c_str());
+    } else {
+      std::printf("\n%s", registry.DumpText().c_str());
+    }
   }
 };
 
@@ -208,6 +222,16 @@ int main(int argc, char** argv) {
       online = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats.enabled = true;
+    } else if (std::strncmp(argv[i], "--stats-format=", 15) == 0) {
+      stats.enabled = true;
+      stats.format = argv[i] + 15;
+      if (stats.format != "text" && stats.format != "json" &&
+          stats.format != "prometheus") {
+        std::fprintf(stderr,
+                     "warehouse_refresh: --stats-format wants text, json or "
+                     "prometheus\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace.path = argv[i] + 8;
       if (trace.path.empty()) {
@@ -224,8 +248,8 @@ int main(int argc, char** argv) {
       if (end == argv[i] || *end != '\0' || scale_factor <= 0) {
         std::fprintf(stderr,
                      "warehouse_refresh: invalid argument '%s' (want "
-                     "--online, --stats, --trace=<path> or a positive "
-                     "scale factor)\n",
+                     "--online, --stats, --stats-format=<f>, --trace=<path> "
+                     "or a positive scale factor)\n",
                      argv[i]);
         return 2;
       }

@@ -43,7 +43,7 @@ import sys
 
 RULES = ("raw-mutex", "no-system", "no-assert", "no-naked-new", "fault-pair")
 
-DEFAULT_DIRS = ("src", "bench", "examples", "tests")
+DEFAULT_DIRS = ("src", "bench", "examples", "tests", "tools")
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
 # The one file allowed to hold raw primitives: it defines the annotated

@@ -1,13 +1,18 @@
 #include "engine/cubetree_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "obs/workload.h"
 #include "sort/external_sorter.h"
 
 namespace cubetree {
@@ -15,24 +20,69 @@ namespace cubetree {
 namespace {
 
 struct EngineMetrics {
+  /// Success-only end-to-end latency: error outcomes land in their
+  /// per-outcome counter below instead of skewing the distribution.
   obs::Histogram* query_latency_us;
   obs::Histogram* admission_wait_us;
   obs::Counter* queries;
   obs::Counter* pages_touched;
   obs::Counter* read_repair_reroutes;
+  /// Typed query outcomes; `ok` + the rest partition engine.queries.
+  obs::Counter* ok;
+  obs::Counter* deadline;
+  obs::Counter* cancelled;
+  obs::Counter* shed;
+  obs::Counter* degraded;
+  obs::Counter* corruption_rerouted;
+  obs::Counter* error;
+
+  obs::Counter* ForOutcome(const char* outcome) const {
+    if (std::strcmp(outcome, "ok") == 0) return ok;
+    if (std::strcmp(outcome, "deadline") == 0) return deadline;
+    if (std::strcmp(outcome, "cancelled") == 0) return cancelled;
+    if (std::strcmp(outcome, "shed") == 0) return shed;
+    if (std::strcmp(outcome, "degraded") == 0) return degraded;
+    if (std::strcmp(outcome, "corruption_rerouted") == 0) {
+      return corruption_rerouted;
+    }
+    return error;
+  }
 
   static const EngineMetrics& Get() {
     static const EngineMetrics m = [] {
       auto& reg = obs::MetricsRegistry::Instance();
-      return EngineMetrics{reg.GetHistogram("engine.query_latency_us"),
-                           reg.GetHistogram("engine.admission_wait_us"),
-                           reg.GetCounter("engine.queries"),
-                           reg.GetCounter("engine.pages_touched"),
-                           reg.GetCounter("engine.read_repair_reroutes")};
+      return EngineMetrics{
+          reg.GetHistogram("engine.query_latency_us"),
+          reg.GetHistogram("engine.admission_wait_us"),
+          reg.GetCounter("engine.queries"),
+          reg.GetCounter("engine.pages_touched"),
+          reg.GetCounter("engine.read_repair_reroutes"),
+          reg.GetCounter("engine.queries.ok"),
+          reg.GetCounter("engine.queries.deadline"),
+          reg.GetCounter("engine.queries.cancelled"),
+          reg.GetCounter("engine.queries.shed"),
+          reg.GetCounter("engine.queries.degraded"),
+          reg.GetCounter("engine.queries.corruption_rerouted"),
+          reg.GetCounter("engine.queries.error")};
     }();
     return m;
   }
 };
+
+/// The typed outcome of a finished Execute. Success precedence:
+/// corruption_rerouted (the answer needed a read-repair re-route) beats
+/// degraded (a quarantined view was routed around) beats plain ok.
+const char* OutcomeName(const Status& status, bool rerouted, bool degraded) {
+  if (status.ok()) {
+    if (rerouted) return "corruption_rerouted";
+    if (degraded) return "degraded";
+    return "ok";
+  }
+  if (status.IsDeadlineExceeded()) return "deadline";
+  if (status.IsCancelled()) return "cancelled";
+  if (status.IsResourceExhausted()) return "shed";
+  return "error";
+}
 
 /// ViewDataProvider over per-view record buffers derived in memory ahead of
 /// the rebuild (from healthy replicas / superset views), already sorted in
@@ -297,6 +347,55 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   return Execute(query, stats, QueryContext::Current());
 }
 
+namespace {
+
+/// Builds the durable per-query record from the finished Execute. Only
+/// runs when a query log or profiler is attached, so none of the string
+/// assembly here touches the default hot path.
+obs::QueryLogRecord BuildQueryRecord(
+    const CubeSchema& schema, const SliceQuery& query, const char* outcome,
+    const CubetreeEngine::AttemptInfo& info,
+    const obs::trace_internal::QueryCounters& pages, uint64_t latency_us,
+    uint64_t trace_id) {
+  obs::QueryLogRecord record;
+  record.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  record.outcome = outcome;
+  record.route = info.route;
+  if (info.view != nullptr) {
+    record.view = info.view->Name(schema);
+    record.order.reserve(info.view->attrs.size());
+    for (uint32_t attr : info.view->attrs) {
+      record.order.push_back(schema.attr_names[attr]);
+    }
+  }
+  record.attrs.reserve(query.attrs.size());
+  for (size_t qi = 0; qi < query.attrs.size(); ++qi) {
+    const uint32_t attr = query.attrs[qi];
+    obs::QueryLogAttr out;
+    out.name = schema.attr_names[attr];
+    out.domain = schema.attr_domains[attr];
+    const auto [lo, hi] = query.AttrInterval(qi);
+    out.lo = lo;
+    out.hi = std::min<uint64_t>(hi, out.domain);
+    out.bound = query.bindings[qi].has_value();
+    out.grouped = query.IsGrouped(qi);
+    record.attrs.push_back(std::move(out));
+  }
+  record.latency_us = latency_us;
+  record.admission_wait_us = info.admission_wait_us;
+  record.pages_read = pages.pages_read;
+  record.pool_hits = pages.pool_hits;
+  record.points_examined = info.points_examined;
+  record.rows = info.rows;
+  record.trace_id = trace_id;
+  return record;
+}
+
+}  // namespace
+
 Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
                                             QueryExecStats* stats,
                                             const QueryContext* ctx) {
@@ -309,47 +408,83 @@ Result<QueryResult> CubetreeEngine::Execute(const SliceQuery& query,
   if (ctx != nullptr && trace.active()) ctx->set_trace_id(trace.trace_id());
   if (ctx != nullptr) CT_RETURN_NOT_OK(ctx->Check());
 
+  // Per-query page accounting: a stack counter fed by the same storage
+  // hooks as span attribution. Installing it is two thread-local stores —
+  // no allocation — so it is unconditional.
+  obs::trace_internal::QueryCounters page_counters;
+  obs::QueryAccountingScope accounting_scope(&page_counters);
+
   // Read-repair retry loop. Each attempt routes against a freshly pinned
   // snapshot; a Corruption from the search quarantines the routed tree
   // (publishing a new epoch, so the next attempt's routing skips it) and
   // re-runs against the next-cheapest healthy covering view. Every retry
   // quarantines one more tree, so the number of views bounds the loop.
   Status first_corruption;
+  bool rerouted = false;
+  AttemptInfo info;
+  std::optional<Result<QueryResult>> final_result;
   const size_t max_attempts = forest_->views().size() + 1;
   for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    uint32_t routed_view = 0;
-    Result<QueryResult> result = ExecuteAttempt(query, stats, ctx, &routed_view);
+    info = AttemptInfo();
+    Result<QueryResult> result = ExecuteAttempt(query, stats, ctx, &info);
     if (result.ok()) {
-      EngineMetrics::Get().query_latency_us->Record(
-          query_timer.ElapsedMicros());
-      return result;
+      final_result = std::move(result);
+      break;
     }
     if (result.status().IsCorruption()) {
       if (first_corruption.ok()) first_corruption = result.status();
+      rerouted = true;
       EngineMetrics::Get().read_repair_reroutes->Increment();
       // Empty file_path: the engine saw the corruption through the routed
       // tree itself, no staleness to guard against.
-      auto q = forest_->QuarantineForCorruption(routed_view, "",
+      auto q = forest_->QuarantineForCorruption(info.routed_view, "",
                                                result.status());
       if (q.ok()) continue;  // Re-route (also when already quarantined).
-      return result;
+      final_result = std::move(result);
+      break;
     }
     if (result.status().IsNotFound() && !first_corruption.ok()) {
       // Routing ran dry because corruption quarantined the only covering
       // views; surface the typed root cause, not "no view".
-      return first_corruption;
+      final_result = Result<QueryResult>(first_corruption);
+      break;
     }
-    return result;
+    final_result = std::move(result);
+    break;
   }
-  return first_corruption.ok()
-             ? Status::Internal("cubetree engine: retry loop exhausted")
-             : first_corruption;
+  if (!final_result.has_value()) {
+    // Loop exhausted: every attempt hit corruption; surface the first.
+    final_result = Result<QueryResult>(
+        first_corruption.ok()
+            ? Status::Internal("cubetree engine: retry loop exhausted")
+            : first_corruption);
+  }
+
+  const uint64_t latency_us = query_timer.ElapsedMicros();
+  const char* outcome =
+      OutcomeName(final_result->status(), rerouted, info.degraded);
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.ForOutcome(outcome)->Increment();
+  if (final_result->ok()) metrics.query_latency_us->Record(latency_us);
+
+  // Record assembly is gated on an attached consumer: with neither a query
+  // log nor a profiler, the whole block is two pointer loads.
+  obs::QueryLog* log = obs::QueryLog::Default();
+  obs::WorkloadProfiler* profiler = obs::WorkloadProfiler::Default();
+  if (log != nullptr || profiler != nullptr) {
+    obs::QueryLogRecord record =
+        BuildQueryRecord(schema_, query, outcome, info, page_counters,
+                         latency_us, trace.trace_id());
+    if (profiler != nullptr) profiler->Observe(record);
+    if (log != nullptr) log->Append(std::move(record));
+  }
+  return std::move(*final_result);
 }
 
 Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
                                                    QueryExecStats* stats,
                                                    const QueryContext* ctx,
-                                                   uint32_t* routed_view) {
+                                                   AttemptInfo* info) {
   // Pin one committed generation for the whole attempt. Concurrent
   // refreshes publish new generations; this one stays intact (retired
   // files included) until the snapshot is released on return.
@@ -360,13 +495,28 @@ Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
   // Route: cheapest covering view (replicas compete here too).
   const ViewDef* best = nullptr;
   double best_cost = 0;
+  // Routing-family bookkeeping for the accounting record: whether a
+  // covering view was quarantined out of contention (degraded service),
+  // and the lowest view id sharing the query node's exact attribute set
+  // (its family primary — routing to any other same-set member means a
+  // replica sort order won).
+  bool exact_family_seen = false;
+  uint32_t exact_family_primary = 0;
   {
     obs::Span route_span("route");
     for (const ViewDef& view : forest_->views()) {
       if (!view.Covers(query.node_mask)) continue;
       // Graceful degradation after recovery: a quarantined view is out of
       // service, but a covering superset view (or replica) can still answer.
-      if (snapshot.IsViewQuarantined(view.id)) continue;
+      if (snapshot.IsViewQuarantined(view.id)) {
+        info->degraded = true;
+        continue;
+      }
+      if (view.AttrMask() == query.node_mask &&
+          (!exact_family_seen || view.id < exact_family_primary)) {
+        exact_family_seen = true;
+        exact_family_primary = view.id;
+      }
       auto it = view_rows_.find(view.id);
       const uint64_t rows = it == view_rows_.end() ? 1 : it->second;
       const double cost = EstimateCost(view, query, rows);
@@ -383,7 +533,13 @@ Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
   if (best == nullptr) {
     return Status::NotFound("no materialized view answers this query");
   }
-  *routed_view = best->id;
+  info->routed_view = best->id;
+  info->view = best;
+  if (best->AttrMask() != query.node_mask) {
+    info->route = "superset";
+  } else {
+    info->route = best->id == exact_family_primary ? "exact" : "replica";
+  }
 
   // The routing estimate doubles as the admission cost hint: under
   // overload, the gate sheds the cheapest (least lost work) queries first.
@@ -394,12 +550,18 @@ Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
     obs::Span admit_span("admission");
     if (options_.admission != nullptr) {
       Timer admit_timer;
-      CT_ASSIGN_OR_RETURN(
-          ticket, options_.admission->Admit(
-                      static_cast<uint64_t>(best_cost), ctx));
+      Result<AdmissionTicket> admitted =
+          options_.admission->Admit(static_cast<uint64_t>(best_cost), ctx);
+      // The wait is recorded whether or not the gate admitted: a shed or
+      // deadline-expired query waited too, and hiding that wait from the
+      // histogram would understate queueing under exactly the overload the
+      // gate exists for.
       const uint64_t wait_us = admit_timer.ElapsedMicros();
+      info->admission_wait_us = wait_us;
       EngineMetrics::Get().admission_wait_us->Record(wait_us);
       admit_span.Annotate("wait_us", wait_us);
+      if (!admitted.ok()) return admitted.status();
+      ticket = std::move(*admitted);
     } else {
       admit_span.Annotate("gate", "none");
     }
@@ -493,6 +655,8 @@ Result<QueryResult> CubetreeEngine::ExecuteAttempt(const SliceQuery& query,
     stats->plan = std::string(exact ? "cubetree slice " : "cubetree agg ") +
                   best->Name(schema_);
   }
+  info->points_examined = search_stats.points_examined;
+  info->rows = result.rows.size();
   const EngineMetrics& metrics = EngineMetrics::Get();
   metrics.queries->Increment();
   metrics.pages_touched->Increment(search_stats.internal_pages +

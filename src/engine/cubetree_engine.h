@@ -116,6 +116,23 @@ class CubetreeEngine : public ViewStore {
   /// scrubber's SetRepairPaused so repairs pause while read-only.
   DegradedModeController* degraded() { return &degraded_; }
 
+  /// Per-attempt accounting, filled by ExecuteAttempt whether it succeeds
+  /// or fails: which view served (or would have served) the query — so the
+  /// retry loop in Execute can quarantine it on Corruption — plus what the
+  /// attempt cost, for the query-log record. Strings are avoided here so a
+  /// failed/disabled path allocates nothing; `route` is a literal.
+  struct AttemptInfo {
+    uint32_t routed_view = 0;
+    const ViewDef* view = nullptr;  // Into forest_->views(); may be null.
+    const char* route = "none";     // exact | replica | superset | none.
+    uint64_t admission_wait_us = 0;
+    uint64_t points_examined = 0;
+    uint64_t rows = 0;
+    /// A covering view was skipped during routing because it is
+    /// quarantined: the answer is correct but served by a fallback route.
+    bool degraded = false;
+  };
+
  private:
   CubetreeEngine(const CubeSchema& schema, Options options, BufferPool* pool)
       : schema_(schema),
@@ -137,12 +154,10 @@ class CubetreeEngine : public ViewStore {
                       uint64_t rows) const;
 
   /// One routing + search attempt against a freshly pinned snapshot.
-  /// `*routed_view` reports which view served (or would have served) the
-  /// query so the retry loop in Execute can quarantine it on Corruption.
   Result<QueryResult> ExecuteAttempt(const SliceQuery& query,
                                      QueryExecStats* stats,
                                      const QueryContext* ctx,
-                                     uint32_t* routed_view);
+                                     AttemptInfo* info);
 
   CubeSchema schema_;
   Options options_;

@@ -34,6 +34,7 @@ const FaultInjector::PointInfo kRegistry[] = {
     {"rtree.build.start", "start of a packed R-tree bulk build"},
     {"rtree.build.sync", "fsync of a freshly built R-tree file"},
     {"storage.checksum.finalize", "writing a page file's checksum sidecar"},
+    {"obs.querylog.rotate", "rotating a query/slow-trace log segment"},
     {"disk.probe", "statvfs free-space probe of the store's volume"},
     {"disk.preflight", "refresh disk-space preflight (forced refusal)"},
     {"forest.manifest.create", "creating the manifest tmp file"},

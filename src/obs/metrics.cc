@@ -165,5 +165,66 @@ std::string MetricsRegistry::DumpText() const {
   return out;
 }
 
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cubetree_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PrometheusName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n",
+                  prom.c_str(), prom.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %lld\n", prom.c_str(),
+                  prom.c_str(), static_cast<long long>(g->value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative buckets over the non-empty slots only: 976 mostly-zero
+    // series per histogram would bloat every scrape. `le` is the bucket's
+    // inclusive upper bound (the next bucket's lower bound minus one).
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t in_bucket = h->BucketCount(i);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      const uint64_t le = i + 1 < Histogram::kNumBuckets
+                              ? Histogram::BucketLowerBound(i + 1) - 1
+                              : Histogram::BucketLowerBound(i);
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                    prom.c_str(), static_cast<unsigned long long>(le),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  prom.c_str(), static_cast<unsigned long long>(h->count()),
+                  prom.c_str(), static_cast<unsigned long long>(h->sum()),
+                  prom.c_str(), static_cast<unsigned long long>(h->count()));
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace cubetree

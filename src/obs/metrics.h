@@ -76,6 +76,11 @@ class Histogram {
   static int BucketIndex(uint64_t value);
   /// Smallest value mapping to bucket `index` (inverse of BucketIndex).
   static uint64_t BucketLowerBound(int index);
+  /// Recordings in bucket `index`; used by the Prometheus exposition.
+  uint64_t BucketCount(int index) const {
+    return buckets_[static_cast<size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
@@ -107,6 +112,12 @@ class MetricsRegistry {
   std::string DumpJson(int indent = 2) const;
   /// One metric per line, for --stats terminal output.
   std::string DumpText() const;
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as-is,
+  /// histograms as cumulative `_bucket{le="..."}` series (non-empty buckets
+  /// plus `+Inf`) with `_sum` and `_count`. Metric names are prefixed with
+  /// `cubetree_` and sanitized (non-[a-zA-Z0-9_] → `_`), so
+  /// "engine.query_latency_us" scrapes as "cubetree_engine_query_latency_us".
+  std::string DumpPrometheus() const;
 
  private:
   MetricsRegistry() = default;

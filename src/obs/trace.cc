@@ -4,11 +4,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.h"
+#include "obs/query_log.h"
+
 namespace cubetree {
 namespace obs {
 
 namespace trace_internal {
 thread_local AmbientTrace t_ambient;
+thread_local QueryCounters* t_query_counters = nullptr;
 }  // namespace trace_internal
 
 using trace_internal::t_ambient;
@@ -374,6 +378,10 @@ Tracer& Tracer::Instance() {
         t->Enable(true);  // A slow-query log needs traces to log.
       }
     }
+    const char* slow_path = std::getenv("CUBETREE_SLOW_QUERY_PATH");
+    if (slow_path != nullptr && slow_path[0] != '\0') {
+      t->SetSlowTraceFile(slow_path);
+    }
     return t;
   }();
   return *tracer;
@@ -381,6 +389,9 @@ Tracer& Tracer::Instance() {
 
 Tracer::Tracer(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+// Out of line so trace.h needs only RotatingFile's forward declaration.
+Tracer::~Tracer() = default;
 
 void Tracer::Publish(std::shared_ptr<const Trace> trace) {
   MutexLock lock(ring_mu_);
@@ -434,6 +445,21 @@ void Tracer::SetSlowTraceSinkForTest(
   sink_ = std::move(sink);
 }
 
+void Tracer::SetSlowTraceFile(const std::string& path, uint64_t max_bytes,
+                              int max_segments) {
+  MutexLock lock(sink_mu_);
+  if (path.empty()) {
+    slow_file_.reset();
+    return;
+  }
+  RotatingFile::Options options;
+  options.path = path;
+  options.max_bytes = max_bytes;
+  options.max_segments = max_segments;
+  slow_file_ = std::make_unique<RotatingFile>(std::move(options));
+  slow_file_warned_ = false;
+}
+
 void Tracer::MaybeLogSlowTrace(const Trace& trace) {
   const int64_t threshold = slow_threshold_us_.load(std::memory_order_relaxed);
   if (threshold < 0) return;
@@ -469,10 +495,21 @@ void Tracer::MaybeLogSlowTrace(const Trace& trace) {
   }
   const std::string text = line.Dump(-1);
 
+  // Precedence: test sink, then the rotating file, then stderr. The file
+  // append happens under sink_mu_ (RotatingFile is not thread-safe); slow
+  // traces are rate-limited above, so the hold is rare and short.
   std::function<void(const std::string&)> sink;
   {
     MutexLock lock(sink_mu_);
     sink = sink_;
+    if (!sink && slow_file_ != nullptr) {
+      const Status status = slow_file_->Append(text);
+      if (!status.ok() && !slow_file_warned_) {
+        slow_file_warned_ = true;
+        CT_LOG(Warn) << "slow-trace file sink: " << status.ToString();
+      }
+      return;
+    }
   }
   if (sink) {
     sink(text);

@@ -19,6 +19,7 @@ namespace obs {
 
 class Trace;
 class Tracer;
+class RotatingFile;
 
 namespace trace_internal {
 
@@ -33,7 +34,36 @@ struct AmbientTrace {
 
 extern thread_local AmbientTrace t_ambient;
 
+/// Per-query storage attribution, independent of tracing: the engine
+/// installs a stack-allocated QueryCounters for the duration of one
+/// Execute (QueryAccountingScope), and the same storage hooks that feed
+/// span attribution bump it. This is what gives a query-log record its
+/// pages_read / pool_hits split without requiring a trace.
+struct QueryCounters {
+  uint64_t pages_read = 0;
+  uint64_t pool_hits = 0;
+};
+
+extern thread_local QueryCounters* t_query_counters;
+
 }  // namespace trace_internal
+
+/// RAII installer for the ambient per-query counters (see QueryCounters).
+/// Nesting restores the outer scope's counters, so a query executed inside
+/// an instrumented refresh attributes to the query only.
+class QueryAccountingScope {
+ public:
+  explicit QueryAccountingScope(trace_internal::QueryCounters* counters)
+      : saved_(trace_internal::t_query_counters) {
+    trace_internal::t_query_counters = counters;
+  }
+  ~QueryAccountingScope() { trace_internal::t_query_counters = saved_; }
+  QueryAccountingScope(const QueryAccountingScope&) = delete;
+  QueryAccountingScope& operator=(const QueryAccountingScope&) = delete;
+
+ private:
+  trace_internal::QueryCounters* saved_;
+};
 
 /// One node of a trace's span tree. Timestamps are steady-clock
 /// nanoseconds, so spans of different traces in one process share a
@@ -254,8 +284,11 @@ class TraceHandoff {
 /// data race against the writer's pointer swap.
 ///
 /// Environment (read once, when Instance() first runs):
-///   CUBETREE_TRACE=1            enable tracing at startup
-///   CUBETREE_SLOW_QUERY_US=<n>  arm the slow-query log at n microseconds
+///   CUBETREE_TRACE=1              enable tracing at startup
+///   CUBETREE_SLOW_QUERY_US=<n>    arm the slow-query log at n microseconds
+///   CUBETREE_SLOW_QUERY_PATH=<p>  write slow-trace lines to a rotating
+///                                 file at <p> instead of stderr (same
+///                                 rotation policy as the query log)
 class Tracer {
  public:
   static constexpr size_t kDefaultCapacity = 128;
@@ -265,6 +298,7 @@ class Tracer {
   static Tracer& Instance();
 
   explicit Tracer(size_t capacity = kDefaultCapacity);
+  ~Tracer();
 
   /// Disabled-tracer overhead is this one relaxed load (plus a branch) per
   /// would-be trace root.
@@ -309,12 +343,22 @@ class Tracer {
   }
   /// Rate limit: at most one slow-trace line per interval; the next
   /// emitted line carries a "suppressed" count for the dropped ones.
+  /// Reconfiguring restarts the current window, so a new interval takes
+  /// effect at the next slow trace rather than after the old window.
   void SetSlowTraceLogIntervalMillis(int64_t ms) {
     slow_interval_us_.store(ms * 1000, std::memory_order_relaxed);
+    slow_last_emit_us_.store(0, std::memory_order_relaxed);
   }
-  /// Test hook: redirect slow-trace lines away from stderr. Pass nullptr
-  /// to restore stderr.
+  /// Test hook: redirect slow-trace lines away from the file/stderr sinks.
+  /// Pass nullptr to restore them.
   void SetSlowTraceSinkForTest(std::function<void(const std::string&)> sink);
+
+  /// Routes slow-trace lines to a rotating file at `path` (empty path
+  /// restores stderr). Rotation policy matches the query log: segments of
+  /// `max_bytes`, `max_segments` rotated files retained.
+  void SetSlowTraceFile(const std::string& path,
+                        uint64_t max_bytes = 64ull << 20,
+                        int max_segments = 4) EXCLUDES(sink_mu_);
 
   /// Called by ~TraceScope after Publish. Public for tests.
   void MaybeLogSlowTrace(const Trace& trace);
@@ -333,7 +377,9 @@ class Tracer {
   std::atomic<uint64_t> slow_suppressed_{0};
   Mutex sink_mu_;
   std::function<void(const std::string&)> sink_
-      GUARDED_BY(sink_mu_);  // Empty = stderr.
+      GUARDED_BY(sink_mu_);  // Empty = file sink (if set), else stderr.
+  std::unique_ptr<RotatingFile> slow_file_ GUARDED_BY(sink_mu_);
+  bool slow_file_warned_ GUARDED_BY(sink_mu_) = false;
 };
 
 /// Storage-layer attribution hooks: one thread-local load and a branch
@@ -342,11 +388,19 @@ class Tracer {
 inline void NotePageRead() {
   const trace_internal::AmbientTrace& a = trace_internal::t_ambient;
   if (a.trace != nullptr) a.trace->AddPageRead(a.span);
+  if (trace_internal::QueryCounters* q = trace_internal::t_query_counters;
+      q != nullptr) {
+    ++q->pages_read;
+  }
 }
 
 inline void NotePoolHit() {
   const trace_internal::AmbientTrace& a = trace_internal::t_ambient;
   if (a.trace != nullptr) a.trace->AddPoolHit(a.span);
+  if (trace_internal::QueryCounters* q = trace_internal::t_query_counters;
+      q != nullptr) {
+    ++q->pool_hits;
+  }
 }
 
 /// The trace this thread is currently building, or nullptr.

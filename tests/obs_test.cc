@@ -204,6 +204,54 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsDoNotLoseCounts) {
   EXPECT_EQ(hist->max(), static_cast<uint64_t>(kThreads));
 }
 
+TEST(MetricsRegistryTest, DumpPrometheusExposition) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("obs_test.prom.counter")->Increment(42);
+  reg.GetGauge("obs_test.prom.gauge")->Set(-3);
+  Histogram* hist = reg.GetHistogram("obs_test.prom.hist");
+  hist->Reset();
+  hist->Record(1);
+  hist->Record(1);
+  hist->Record(1000);
+  const std::string text = reg.DumpPrometheus();
+
+  // Names are prefixed and sanitized; counters/gauges dump as-is.
+  EXPECT_NE(text.find("# TYPE cubetree_obs_test_prom_counter counter\n"
+                      "cubetree_obs_test_prom_counter 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubetree_obs_test_prom_gauge -3"), std::string::npos);
+
+  // Histograms dump the cumulative bucket series plus _sum/_count. The
+  // value 1 lands in the exact unit bucket (le="1"); the series must be
+  // cumulative, so the bucket containing 1000 reads 3.
+  EXPECT_NE(text.find("# TYPE cubetree_obs_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubetree_obs_test_prom_hist_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  const uint64_t le_1000 =
+      Histogram::BucketLowerBound(Histogram::BucketIndex(1000) + 1) - 1;
+  char expect[128];
+  std::snprintf(expect, sizeof(expect),
+                "cubetree_obs_test_prom_hist_bucket{le=\"%llu\"} 3",
+                static_cast<unsigned long long>(le_1000));
+  EXPECT_NE(text.find(expect), std::string::npos);
+  EXPECT_NE(text.find("cubetree_obs_test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubetree_obs_test_prom_hist_sum 1002"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubetree_obs_test_prom_hist_count 3"),
+            std::string::npos);
+  // Only non-empty buckets are emitted: two values → three _bucket lines
+  // (le=1, le around 1000, +Inf) for this histogram, not 976.
+  size_t buckets = 0;
+  for (size_t pos = text.find("cubetree_obs_test_prom_hist_bucket");
+       pos != std::string::npos;
+       pos = text.find("cubetree_obs_test_prom_hist_bucket", pos + 1)) {
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, 3u);
+}
+
 // ---------------------------------------------------------------------------
 // JSON value + parser.
 

@@ -18,6 +18,7 @@
 
 #include "common/query_context.h"
 #include "obs/json.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "storage/io_stats.h"
 #include "tests/test_util.h"
@@ -40,6 +41,7 @@ class TraceTest : public ::testing::Test {
   void TearDown() override {
     Tracer::Instance().SetSlowTraceThresholdMicros(-1);
     Tracer::Instance().SetSlowTraceSinkForTest(nullptr);
+    Tracer::Instance().SetSlowTraceFile("");
     Tracer::Instance().Enable(false);
     Tracer::Instance().Clear();
   }
@@ -390,6 +392,71 @@ TEST_F(TraceTest, SlowTraceRateLimitSuppressesAndReports) {
   ASSERT_OK_AND_ASSIGN(JsonValue line, JsonValue::Parse(lines[1]));
   ASSERT_NE(line.Find("suppressed"), nullptr);
   EXPECT_EQ(line.Find("suppressed")->number(), 2);
+}
+
+// The CUBETREE_SLOW_QUERY_PATH file sink: slow-trace lines append to a
+// rotating file instead of stderr, surviving rotation with the
+// suppressed-count carryover intact.
+TEST_F(TraceTest, SlowTraceFileSinkWritesRotatingFile) {
+  const std::string dir = MakeTestDir("trace");
+  const std::string path = dir + "/slow.jsonl";
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetSlowTraceSinkForTest(nullptr);  // File sink must be used.
+  tracer.SetSlowTraceFile(path, /*max_bytes=*/1024, /*max_segments=*/2);
+  tracer.SetSlowTraceThresholdMicros(0);
+  tracer.SetSlowTraceLogIntervalMillis(0);
+
+  for (int i = 0; i < 16; ++i) {
+    TraceScope root("slow_query");
+    Span span("scan");
+  }
+  tracer.SetSlowTraceFile("");  // Detach (closes the file).
+  tracer.SetSlowTraceThresholdMicros(-1);
+
+  // Lines rotated across segments; each parses and carries the payload.
+  uint64_t lines = 0;
+  uint64_t segments = 0;
+  for (const std::string& segment :
+       obs::RotatingFile::Segments(path, /*max_segments=*/2)) {
+    ++segments;
+    ASSERT_OK(obs::ForEachLogLine(segment, [&](const std::string& text) {
+      ASSERT_OK_AND_ASSIGN(JsonValue line, JsonValue::Parse(text));
+      EXPECT_TRUE(line.Find("slow_trace")->boolean());
+      EXPECT_EQ(line.Find("name")->str(), "slow_query");
+      ++lines;
+    }));
+  }
+  EXPECT_GE(segments, 2u);  // ~500-byte lines against a 1 KiB bound rotate.
+  EXPECT_GT(lines, 2u);
+  EXPECT_LE(lines, 16u);
+}
+
+// Rate-limit suppression accounting carries over into the file sink: the
+// first line after a suppression window reports the dropped count.
+TEST_F(TraceTest, SlowTraceFileSinkKeepsSuppressedCounts) {
+  const std::string dir = MakeTestDir("trace");
+  const std::string path = dir + "/suppressed.jsonl";
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetSlowTraceSinkForTest(nullptr);
+  tracer.SetSlowTraceFile(path);
+  tracer.SetSlowTraceThresholdMicros(0);
+  tracer.SetSlowTraceLogIntervalMillis(3600LL * 1000);  // Suppress all but 1.
+
+  { TraceScope root("q1"); }
+  { TraceScope root("q2"); }
+  { TraceScope root("q3"); }
+  tracer.SetSlowTraceLogIntervalMillis(0);
+  { TraceScope root("q4"); }  // Reports the two suppressed.
+  tracer.SetSlowTraceFile("");
+  tracer.SetSlowTraceThresholdMicros(-1);
+
+  std::vector<std::string> lines;
+  ASSERT_OK(obs::ForEachLogLine(
+      path, [&](const std::string& text) { lines.push_back(text); }));
+  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(JsonValue last, JsonValue::Parse(lines[1]));
+  ASSERT_NE(last.Find("suppressed"), nullptr);
+  EXPECT_EQ(last.Find("suppressed")->number(), 2);
 }
 
 // ---------------------------------------------------------------------------

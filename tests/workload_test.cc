@@ -1,0 +1,271 @@
+// Tests for the workload profiler (src/obs/workload): the space-saving
+// heavy-hitter sketch, the replica-miss scorer against hand-built
+// workloads (mirroring CubetreeEngine::EstimateCost's suffix-pruning
+// model), the profiler's golden report schema, and offline log ingestion
+// with invalid/torn-line accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/query_log.h"
+#include "obs/workload.h"
+#include "tests/test_util.h"
+
+namespace cubetree {
+namespace {
+
+using obs::JsonValue;
+using obs::QueryLogAttr;
+using obs::QueryLogRecord;
+using obs::ReplicaMiss;
+using obs::ScoreReplicaMiss;
+using obs::SpaceSavingSketch;
+using obs::WorkloadProfiler;
+
+QueryLogAttr MakeAttr(const std::string& name, uint64_t domain, uint64_t lo,
+                      uint64_t hi, bool grouped = false) {
+  QueryLogAttr attr;
+  attr.name = name;
+  attr.domain = domain;
+  attr.lo = lo;
+  attr.hi = hi;
+  attr.bound = (lo == hi);
+  attr.grouped = grouped;
+  return attr;
+}
+
+// A query against view (partkey, suppkey) with the given per-attr
+// intervals. Pack order is suffix-major, so a predicate on suppkey prunes
+// fully and a predicate on partkey only halves.
+QueryLogRecord MakeRecord(uint64_t part_lo, uint64_t part_hi,
+                          uint64_t supp_lo, uint64_t supp_hi,
+                          uint64_t pages = 100) {
+  QueryLogRecord record;
+  record.ts_us = 1;
+  record.outcome = "ok";
+  record.route = "exact";
+  record.view = "node(partkey,suppkey)";
+  record.order = {"partkey", "suppkey"};
+  record.attrs.push_back(MakeAttr("partkey", 200, part_lo, part_hi));
+  record.attrs.push_back(MakeAttr("suppkey", 10, supp_lo, supp_hi, true));
+  record.latency_us = 500;
+  record.pages_read = pages;
+  record.pool_hits = 0;
+  record.points_examined = 1000;
+  record.rows = 10;
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Space-saving sketch.
+
+TEST(SpaceSavingSketchTest, ExactWithinCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 5; ++i) sketch.Observe("a");
+  for (int i = 0; i < 3; ++i) sketch.Observe("b");
+  sketch.Observe("c");
+  auto top = sketch.TopK(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].overcount, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[1].count, 3u);
+  EXPECT_EQ(top[2].key, "c");
+  EXPECT_EQ(top[2].count, 1u);
+}
+
+TEST(SpaceSavingSketchTest, EvictionInheritsMinCountAsOvercount) {
+  SpaceSavingSketch sketch(2);
+  for (int i = 0; i < 10; ++i) sketch.Observe("heavy");
+  sketch.Observe("light");
+  // At capacity: a newcomer evicts "light" (count 1) and inherits its
+  // count as the overcount bound; "heavy" is untouched.
+  sketch.Observe("newcomer");
+  EXPECT_EQ(sketch.size(), 2u);
+  auto top = sketch.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "heavy");
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[1].key, "newcomer");
+  EXPECT_EQ(top[1].count, 2u);      // Inherited 1 + its own observation.
+  EXPECT_EQ(top[1].overcount, 1u);  // count - overcount lower-bounds truth.
+}
+
+// ---------------------------------------------------------------------------
+// Replica-miss scorer.
+
+TEST(ReplicaMissTest, SuffixServedQueryIsNotAMiss) {
+  // suppkey (the pack-major suffix attr) is bound, partkey is free: the
+  // routed order already prunes fully, so no replica would do better.
+  const QueryLogRecord record = MakeRecord(1, 200, 3, 3);
+  EXPECT_FALSE(ScoreReplicaMiss(record).has_value());
+}
+
+TEST(ReplicaMissTest, UnconstrainedQueryIsNotAMiss) {
+  const QueryLogRecord record = MakeRecord(1, 200, 1, 10);
+  EXPECT_FALSE(ScoreReplicaMiss(record).has_value());
+}
+
+TEST(ReplicaMissTest, NonSuffixPredicateScoresAMiss) {
+  // partkey=7 with suppkey free: under order (partkey, suppkey) the bound
+  // attribute is NOT in the pack-order suffix, so the engine only gets MBR
+  // halving (actual = 0.5) where the permuted order (suppkey, partkey)
+  // would prune at partkey's full selectivity (best = 1/200).
+  const QueryLogRecord record = MakeRecord(7, 7, 1, 10, /*pages=*/100);
+  auto miss = ScoreReplicaMiss(record);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->view, "node(partkey,suppkey)");
+  ASSERT_EQ(miss->recommended_order.size(), 2u);
+  EXPECT_EQ(miss->recommended_order[0], "suppkey");
+  EXPECT_EQ(miss->recommended_order[1], "partkey");
+  EXPECT_NEAR(miss->cost_ratio, (1.0 / 200) / 0.5, 1e-9);
+  EXPECT_EQ(miss->pages_touched, 100u);
+  EXPECT_NEAR(miss->est_pages_saved, 100.0 * (1.0 - 0.01), 1e-6);
+}
+
+TEST(ReplicaMissTest, ContiguousConstrainedSuffixIsNotAMiss) {
+  // BOTH attrs constrained under (partkey, suppkey): the suffix walk
+  // consumes suppkey then partkey, so the routed order already prunes at
+  // the full selectivity product — no permutation beats it.
+  const QueryLogRecord record = MakeRecord(10, 19, 3, 3);
+  EXPECT_FALSE(ScoreReplicaMiss(record).has_value());
+}
+
+TEST(ReplicaMissTest, GapInSuffixScoresOnlyTheStrandedPrefix) {
+  // Three-attr view (partkey, suppkey, custkey): custkey bound prunes as
+  // the suffix, the free suppkey breaks the walk, and the ranged partkey
+  // is stranded at the halving credit. The best permutation moves both
+  // constrained attrs into the suffix; the recommendation lists the free
+  // attr first, then the constrained ones in their original order.
+  QueryLogRecord record;
+  record.outcome = "ok";
+  record.route = "exact";
+  record.view = "node(partkey,suppkey,custkey)";
+  record.order = {"partkey", "suppkey", "custkey"};
+  record.attrs.push_back(MakeAttr("partkey", 200, 10, 19));
+  record.attrs.push_back(MakeAttr("suppkey", 10, 1, 10));
+  record.attrs.push_back(MakeAttr("custkey", 100, 5, 5));
+  record.pages_read = 60;
+  record.pool_hits = 20;
+  auto miss = ScoreReplicaMiss(record);
+  ASSERT_TRUE(miss.has_value());
+  // actual = sel(custkey) * 0.5; best = sel(custkey) * sel(partkey).
+  const double sel_part = 10.0 / 200;
+  EXPECT_NEAR(miss->cost_ratio, sel_part / 0.5, 1e-9);
+  ASSERT_EQ(miss->recommended_order.size(), 3u);
+  EXPECT_EQ(miss->recommended_order[0], "suppkey");
+  EXPECT_EQ(miss->recommended_order[1], "partkey");
+  EXPECT_EQ(miss->recommended_order[2], "custkey");
+  EXPECT_EQ(miss->pages_touched, 80u);
+  EXPECT_NEAR(miss->est_pages_saved, 80.0 * (1.0 - sel_part / 0.5), 1e-6);
+}
+
+TEST(ReplicaMissTest, RecordsWithoutARoutedViewAreSkipped) {
+  QueryLogRecord record = MakeRecord(7, 7, 1, 10);
+  record.view.clear();
+  record.order.clear();
+  record.route = "none";
+  EXPECT_FALSE(ScoreReplicaMiss(record).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Profiler report.
+
+TEST(WorkloadProfilerTest, GoldenReportSchema) {
+  WorkloadProfiler profiler;
+  // 3 fast exact-served queries, 2 slow replica misses, 1 deadline error.
+  for (int i = 0; i < 3; ++i) profiler.Observe(MakeRecord(1, 200, 3, 3));
+  for (int i = 0; i < 2; ++i) profiler.Observe(MakeRecord(7, 7, 1, 10, 100));
+  QueryLogRecord failed = MakeRecord(7, 7, 1, 10);
+  failed.outcome = "deadline";
+  failed.latency_us = 9000;
+  profiler.Observe(failed);
+  EXPECT_EQ(profiler.records(), 6u);
+
+  const JsonValue report = profiler.ReportJson();
+  EXPECT_EQ(report.Find("schema_version")->number(), 1);
+  EXPECT_EQ(report.Find("records")->number(), 6);
+  EXPECT_EQ(report.Find("invalid_records")->number(), 0);
+
+  // Outcomes: ok and deadline, each with a latency summary.
+  const JsonValue* outcomes = report.Find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  ASSERT_NE(outcomes->Find("ok"), nullptr);
+  EXPECT_EQ(outcomes->Find("ok")->Find("count")->number(), 5);
+  ASSERT_NE(outcomes->Find("deadline"), nullptr);
+  EXPECT_EQ(outcomes->Find("deadline")->Find("count")->number(), 1);
+  ASSERT_NE(outcomes->Find("ok")->Find("p95_us"), nullptr);
+
+  // Views: one entry with page/route accounting.
+  const JsonValue* view = report.Find("views")->Find("node(partkey,suppkey)");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->Find("count")->number(), 6);
+  EXPECT_EQ(view->Find("routes")->Find("exact")->number(), 6);
+
+  // Shapes: the two distinct shapes, tied at 3 so ordered by key (',' <
+  // '=' puts the suffix-served shape first).
+  const auto& shapes = report.Find("top_shapes")->elements();
+  ASSERT_EQ(shapes.size(), 2u);
+  EXPECT_EQ(shapes[0].Find("shape")->str(), "partkey,suppkey=");
+  EXPECT_EQ(shapes[0].Find("count")->number(), 3);
+  EXPECT_EQ(shapes[1].Find("shape")->str(), "partkey=,suppkey");
+  EXPECT_EQ(shapes[1].Find("count")->number(), 3);
+
+  // Replica misses: the partkey=-only shape aggregated across its 3
+  // queries, recommending the permuted order.
+  const auto& misses = report.Find("replica_misses")->elements();
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0].Find("view")->str(), "node(partkey,suppkey)");
+  EXPECT_EQ(misses[0].Find("queries")->number(), 3);
+  const auto& order = misses[0].Find("recommended_order")->elements();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].str(), "suppkey");
+  EXPECT_EQ(order[1].str(), "partkey");
+  EXPECT_GT(misses[0].Find("est_pages_saved")->number(), 0.0);
+
+  // The text rendering carries the headline numbers and the miss line.
+  const std::string text = profiler.ReportText();
+  EXPECT_NE(text.find("6 records"), std::string::npos);
+  EXPECT_NE(text.find("node(partkey,suppkey)"), std::string::npos);
+  EXPECT_NE(text.find("suppkey,partkey"), std::string::npos);
+  EXPECT_NE(text.find("pages saved"), std::string::npos);
+}
+
+TEST(WorkloadProfilerTest, AddLogFileCountsInvalidAndTornLines) {
+  const std::string dir = MakeTestDir("workload");
+  const std::string path = dir + "/mixed.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  const std::string good = MakeRecord(7, 7, 1, 10).ToJson().Dump(-1);
+  std::fprintf(f, "%s\n", good.c_str());
+  std::fputs("not json at all\n", f);
+  std::fputs("{\"schema_version\": 1}\n", f);  // Parses, fails strict schema.
+  std::fprintf(f, "%s\n", good.c_str());
+  std::fputs("{\"torn", f);  // No newline: crash mid-append.
+  ASSERT_EQ(std::fclose(f), 0);
+
+  WorkloadProfiler profiler;
+  ASSERT_OK(profiler.AddLogFile(path));
+  EXPECT_EQ(profiler.records(), 2u);
+  EXPECT_EQ(profiler.invalid_records(), 2u);
+  const JsonValue report = profiler.ReportJson();
+  EXPECT_EQ(report.Find("torn_lines")->number(), 1);
+  EXPECT_EQ(report.Find("invalid_records")->number(), 2);
+}
+
+TEST(WorkloadProfilerTest, DefaultAttachDetach) {
+  EXPECT_EQ(WorkloadProfiler::Default(), nullptr);
+  WorkloadProfiler profiler;
+  WorkloadProfiler::SetDefault(&profiler);
+  EXPECT_EQ(WorkloadProfiler::Default(), &profiler);
+  WorkloadProfiler::SetDefault(nullptr);
+  EXPECT_EQ(WorkloadProfiler::Default(), nullptr);
+}
+
+}  // namespace
+}  // namespace cubetree

@@ -1,0 +1,125 @@
+// ctstat — offline workload-observability toolkit over the durable query
+// log (CUBETREE_QUERY_LOG). Two subcommands:
+//
+//   ctstat check <log-path>
+//     Validates every record in every on-disk segment of the rotating log
+//     (oldest first) against the strict QueryLogRecord schema. Prints a
+//     per-segment line count and exits 1 when any complete line fails to
+//     parse — CI uses this to catch schema drift. A torn final line (crash
+//     mid-append) is reported but is NOT an error.
+//
+//   ctstat report <log-path> [--json]
+//     Runs the workload profiler over the log: per-view and per-outcome
+//     latency distributions, top-K heavy-hitter query shapes, and the
+//     replica-miss table (which extra sort order would have served each
+//     miss, with estimated pages saved). --json emits the machine-readable
+//     report document instead of text.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/query_log.h"
+#include "obs/workload.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ctstat check <log-path>\n"
+               "       ctstat report <log-path> [--json]\n");
+  return 2;
+}
+
+int RunCheck(const std::string& path) {
+  const std::vector<std::string> segments = cubetree::obs::QueryLog::Segments(path);
+  if (segments.empty()) {
+    std::fprintf(stderr, "ctstat: no log segments at %s\n", path.c_str());
+    return 1;
+  }
+  uint64_t total_lines = 0;
+  uint64_t total_torn = 0;
+  uint64_t total_invalid = 0;
+  for (const std::string& segment : segments) {
+    cubetree::obs::QueryLogReadStats stats;
+    uint64_t invalid = 0;
+    cubetree::Status s = cubetree::obs::ForEachLogLine(
+        segment,
+        [&](const std::string& line) {
+          auto doc = cubetree::obs::JsonValue::Parse(line);
+          if (!doc.ok()) {
+            ++invalid;
+            return;
+          }
+          auto record = cubetree::obs::QueryLogRecord::FromJson(*doc);
+          if (!record.ok()) ++invalid;
+        },
+        &stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ctstat: %s: %s\n", segment.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %llu records, %llu invalid, %llu torn\n", segment.c_str(),
+                static_cast<unsigned long long>(stats.lines - invalid),
+                static_cast<unsigned long long>(invalid),
+                static_cast<unsigned long long>(stats.torn));
+    total_lines += stats.lines;
+    total_torn += stats.torn;
+    total_invalid += invalid;
+  }
+  std::printf("total: %llu records, %llu invalid, %llu torn\n",
+              static_cast<unsigned long long>(total_lines - total_invalid),
+              static_cast<unsigned long long>(total_invalid),
+              static_cast<unsigned long long>(total_torn));
+  if (total_invalid > 0) {
+    std::fprintf(stderr, "ctstat: %llu invalid record(s)\n",
+                 static_cast<unsigned long long>(total_invalid));
+    return 1;
+  }
+  return 0;
+}
+
+int RunReport(const std::string& path, bool json) {
+  cubetree::obs::WorkloadProfiler profiler;
+  cubetree::Status s = profiler.AddLog(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ctstat: %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  if (profiler.records() == 0 && profiler.invalid_records() == 0) {
+    std::fprintf(stderr, "ctstat: no records at %s\n", path.c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", profiler.ReportJson().Dump(2).c_str());
+  } else {
+    std::fputs(profiler.ReportText().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  if (cmd == "check") {
+    if (argc != 3) return Usage();
+    return RunCheck(path);
+  }
+  if (cmd == "report") {
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        return Usage();
+      }
+    }
+    return RunReport(path, json);
+  }
+  return Usage();
+}
